@@ -1,0 +1,44 @@
+"""Ablation — Afforest neighbor-sampling rounds (0, 1, 2, 4).
+
+DESIGN.md calls out the sampling depth as the key Afforest knob:
+0 rounds degenerates to "finish everything" (≈ SV over all pairs),
+2 is the paper's/GAP's default, more rounds add passes with shrinking
+benefit. Output must be identical at every setting.
+"""
+
+from repro.bench import ResultWriter, TextTable, get_workload
+from repro.equitruss import build_index
+from repro.equitruss.kernels import SP_NODE
+
+ROUNDS = [0, 1, 2, 4]
+NETWORK = "livejournal"
+
+
+def run_ablation():
+    writer = ResultWriter("ablation_afforest_rounds")
+    w = get_workload(NETWORK)
+    table = TextTable(
+        ["neighbor_rounds", "SpNode s", "index identical"],
+        title=f"Ablation ({NETWORK}): Afforest sampling rounds",
+    )
+    ref = None
+    secs = {}
+    for r in ROUNDS:
+        res = build_index(
+            w.graph, "afforest", decomp=w.decomp, triangles=w.triangles,
+            neighbor_rounds=r,
+        )
+        identical = True if ref is None else (res.index == ref)
+        ref = ref or res.index
+        secs[r] = res.breakdown.seconds.get(SP_NODE, 0.0)
+        table.add_row(r, secs[r], identical)
+        assert identical
+    writer.add(table)
+    writer.write()
+    return secs
+
+
+def test_ablation_afforest_rounds(benchmark, run_once):
+    secs = run_once(benchmark, run_ablation)
+    # sampling must help over the no-sampling degenerate case
+    assert min(secs[1], secs[2]) < secs[0] * 1.2

@@ -1,0 +1,69 @@
+"""Ablation — query latency: EquiTruss index vs TCP-Index vs no index.
+
+The reason to build the index at all: answering "communities of q at k"
+from the summary graph beats both the per-query truss recomputation
+(online) and TCP-Index's per-query reconstruction traversal — the
+comparison motivating EquiTruss over TCP-Index in the paper's §5.
+"""
+
+import time
+
+import numpy as np
+
+from repro.bench import ResultWriter, TextTable, get_workload
+from repro.community import TCPIndex, online_communities, search_communities
+from repro.community.model import as_edge_set_family
+from repro.equitruss import build_index
+
+NETWORK = "amazon"  # TCP construction is pure Python — keep it modest
+NUM_QUERIES = 30
+K = 4
+
+
+def run_ablation():
+    writer = ResultWriter("ablation_query")
+    w = get_workload(NETWORK)
+    t0 = time.perf_counter()
+    index = build_index(
+        w.graph, "afforest", decomp=w.decomp, triangles=w.triangles
+    ).index
+    t_build_eq = time.perf_counter() - t0
+    t0 = time.perf_counter()
+    tcp = TCPIndex(w.graph, decomp=w.decomp)
+    t_build_tcp = time.perf_counter() - t0
+
+    rng = np.random.default_rng(0)
+    deg = w.graph.degrees()
+    candidates = np.flatnonzero(deg >= 3)
+    queries = rng.choice(candidates, size=NUM_QUERIES, replace=False)
+
+    times = {"equitruss": 0.0, "tcp": 0.0, "online": 0.0}
+    for q in queries.tolist():
+        t0 = time.perf_counter()
+        a = search_communities(index, q, K)
+        times["equitruss"] += time.perf_counter() - t0
+        t0 = time.perf_counter()
+        b = tcp.query(q, K)
+        times["tcp"] += time.perf_counter() - t0
+        t0 = time.perf_counter()
+        c = online_communities(w.graph, q, K, decomp=w.decomp)
+        times["online"] += time.perf_counter() - t0
+        assert as_edge_set_family(a) == as_edge_set_family(c)
+        assert as_edge_set_family(b) == as_edge_set_family(c)
+
+    table = TextTable(
+        ["engine", "build s", f"total query s ({NUM_QUERIES} queries)", "per-query ms"],
+        title=f"Query ablation ({NETWORK}, k={K}): all engines return identical communities",
+    )
+    table.add_row("equitruss-index", t_build_eq, times["equitruss"], 1000 * times["equitruss"] / NUM_QUERIES)
+    table.add_row("tcp-index", t_build_tcp, times["tcp"], 1000 * times["tcp"] / NUM_QUERIES)
+    table.add_row("online (no index)", 0.0, times["online"], 1000 * times["online"] / NUM_QUERIES)
+    writer.add(table)
+    writer.write()
+    return times
+
+
+def test_ablation_query(benchmark, run_once):
+    times = run_once(benchmark, run_ablation)
+    # the index must beat recomputing truss communities per query
+    assert times["equitruss"] < times["online"]

@@ -1,0 +1,60 @@
+"""Substrate comparison — SV vs Afforest vs label propagation vs BFS.
+
+The paper's contribution list includes "a comparative analysis of the
+performance using these [CC] approaches" (§1). We time all four on the
+vertex graphs of the Table-3 stand-ins and reproduce the established
+ordering the paper relies on: Afforest ≤ SV in work, label propagation
+diameter-bound, BFS component-bound.
+"""
+
+import time
+
+from repro.bench import ResultWriter, TextTable, get_workload
+from repro.cc import afforest, bfs_components, label_propagation, shiloach_vishkin
+from repro.cc.core import normalize_labels
+
+NETWORKS = ["youtube", "livejournal", "orkut"]
+METHODS = {
+    "sv": shiloach_vishkin,
+    "afforest": afforest,
+    "label_prop": label_propagation,
+    "bfs": bfs_components,
+}
+
+
+def run_comparison():
+    writer = ResultWriter("cc_comparison")
+    table = TextTable(
+        ["network", *METHODS.keys()],
+        title="Vertex CC runtime (seconds, min of 2 runs)",
+    )
+    out = {}
+    for name in NETWORKS:
+        w = get_workload(name)
+        ref = None
+        row = []
+        for mname, fn in METHODS.items():
+            best = float("inf")
+            for _ in range(2):
+                t0 = time.perf_counter()
+                labels = fn(w.graph)
+                best = min(best, time.perf_counter() - t0)
+            canon = normalize_labels(labels)
+            if ref is None:
+                ref = canon
+            else:
+                assert (canon == ref).all(), mname
+            row.append(best)
+            out[(name, mname)] = best
+        table.add_row(name, *row)
+    writer.add(table)
+    writer.write()
+    return out
+
+
+def test_cc_comparison(benchmark, run_once):
+    out = run_once(benchmark, run_comparison)
+    for name in NETWORKS:
+        # Afforest competitive with SV (the paper's substrate claim);
+        # generous tolerance for single-core noise
+        assert out[(name, "afforest")] <= out[(name, "sv")] * 1.5, name

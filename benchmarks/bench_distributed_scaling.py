@@ -1,0 +1,64 @@
+"""Extension — distributed-memory scale-out (communication volume).
+
+The paper positions distributed k-truss [10, 16, 31] as the scale-out
+path beyond one node. On the SPMD emulation we measure what a real
+cluster run is governed by: communication volume and collective count
+of the distributed Support kernel and Pregel-style CC as rank count
+grows, for both edge-partitioning strategies.
+"""
+
+import numpy as np
+
+from repro.bench import ResultWriter, TextTable
+from repro.distributed import (
+    distributed_components,
+    distributed_triangle_count,
+    distributed_truss_decomposition,
+)
+from repro.graph.datasets import load_dataset
+from repro.graph import CSRGraph
+from repro.triangles import enumerate_triangles
+from repro.truss import truss_decomposition
+
+RANKS = [1, 2, 4, 8]
+NETWORK = "amazon"
+
+
+def run_distributed():
+    writer = ResultWriter("distributed_scaling")
+    edges = load_dataset(NETWORK)
+    graph = CSRGraph.from_edgelist(edges)
+    tri = enumerate_triangles(graph)
+    tau_ref = truss_decomposition(graph, triangles=tri).trussness
+    out = {}
+    for strategy in ("hash", "owner"):
+        table = TextTable(
+            ["ranks", "tri msgs", "tri MB", "cc msgs", "cc MB", "truss MB"],
+            title=f"Distributed kernels on {NETWORK} stand-in ({strategy} partition)",
+        )
+        for ranks in RANKS:
+            count, tri_stats = distributed_triangle_count(edges, ranks, strategy=strategy)
+            assert count == tri.count
+            labels, cc_stats = distributed_components(edges, ranks, strategy=strategy)
+            dec, truss_stats = distributed_truss_decomposition(edges, ranks, triangles=tri)
+            assert np.array_equal(dec.trussness, tau_ref)
+            table.add_row(
+                ranks,
+                tri_stats.messages,
+                tri_stats.bytes / 1e6,
+                cc_stats.messages,
+                cc_stats.bytes / 1e6,
+                truss_stats.bytes / 1e6,
+            )
+            out[(strategy, ranks)] = (tri_stats.bytes, cc_stats.bytes)
+        writer.add(table)
+    writer.write()
+    return out
+
+
+def test_distributed_scaling(benchmark, run_once):
+    out = run_once(benchmark, run_distributed)
+    # communication volume grows with rank count (the scale-out cost)
+    for strategy in ("hash", "owner"):
+        tri_bytes = [out[(strategy, r)][0] for r in RANKS]
+        assert tri_bytes[-1] > tri_bytes[0]

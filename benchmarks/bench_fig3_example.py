@@ -1,0 +1,44 @@
+"""Figure 3 — the worked example's summary graph.
+
+Regenerates the published supernode/superedge structure of the paper's
+11-vertex example with every implementation and renders it. (The
+byte-exact assertions live in tests/equitruss/test_paper_example.py;
+this bench records the artifact.)
+"""
+
+from repro.bench import ResultWriter, TextTable
+from repro.equitruss import build_index, equitruss_serial
+from repro.graph import CSRGraph
+from repro.graph.generators import paper_example_graph
+
+
+def run_fig3():
+    g = CSRGraph.from_edgelist(paper_example_graph())
+    writer = ResultWriter("fig3_example")
+    indexes = {"serial": equitruss_serial(g)}
+    for variant in ("baseline", "coptimal", "afforest"):
+        indexes[variant] = build_index(g, variant).index
+    ref = indexes["serial"]
+    assert all(idx == ref for idx in indexes.values())
+
+    table = TextTable(
+        ["supernode", "k", "edges"],
+        title="Figure 3b: summary graph of the example graph (all variants identical)",
+    )
+    for sn in range(ref.num_supernodes):
+        eids = ref.edges_of(sn)
+        pairs = ", ".join(
+            f"({int(ref.graph.edges.u[e])},{int(ref.graph.edges.v[e])})"
+            for e in eids
+        )
+        table.add_row(f"nu{sn}", int(ref.supernode_trussness[sn]), pairs)
+    writer.add(table)
+    se = ", ".join(f"(nu{a}, nu{b})" for a, b in ref.superedges.tolist())
+    writer.add(f"Superedges: {se}")
+    writer.write()
+    return ref.num_supernodes, ref.num_superedges
+
+
+def test_fig3_example(benchmark, run_once):
+    sn, se = run_once(benchmark, run_fig3)
+    assert (sn, se) == (5, 6)

@@ -1,0 +1,57 @@
+"""Micro-benchmarks of the substrate kernels (pytest-benchmark proper).
+
+These repeat normally (multiple rounds) and track the throughput of the
+pieces the pipeline composes: triangle enumeration, truss peeling,
+connected components, and index construction per variant.
+"""
+
+import pytest
+
+from repro.bench import get_workload
+from repro.cc import afforest, bfs_components, label_propagation, shiloach_vishkin
+from repro.equitruss import build_index
+from repro.equitruss.levels import build_level_structures
+from repro.triangles import enumerate_triangles
+from repro.truss import truss_decomposition
+
+WORKLOAD = "youtube"  # mid-size: large enough to be meaningful, quick to repeat
+
+
+@pytest.fixture(scope="module")
+def w():
+    return get_workload(WORKLOAD)
+
+
+def test_triangle_enumeration(benchmark, w):
+    tri = benchmark(enumerate_triangles, w.graph)
+    assert tri.count == w.triangles.count
+
+
+def test_truss_decomposition(benchmark, w):
+    dec = benchmark(lambda: truss_decomposition(w.graph, triangles=w.triangles))
+    assert dec.kmax == w.decomp.kmax
+
+
+def test_level_structures(benchmark, w):
+    levels = benchmark(
+        lambda: build_level_structures(w.triangles, w.decomp.trussness, with_adjacency=True)
+    )
+    assert levels.num_hook_pairs > 0
+
+
+@pytest.mark.parametrize("method", [shiloach_vishkin, afforest, label_propagation, bfs_components])
+def test_connected_components(benchmark, w, method):
+    import numpy as np
+
+    labels = benchmark(method, w.graph)
+    assert labels.size == w.graph.num_vertices
+
+
+@pytest.mark.parametrize("variant", ["baseline", "coptimal", "afforest"])
+def test_index_construction(benchmark, w, variant):
+    res = benchmark(
+        lambda: build_index(
+            w.graph, variant, decomp=w.decomp, triangles=w.triangles
+        )
+    )
+    assert res.index.num_supernodes > 0

@@ -1,0 +1,37 @@
+"""Table 3 — dataset inventory.
+
+Reports the synthetic stand-in sizes next to the paper's SNAP sizes,
+verifying the relative ordering (amazon < dblp < youtube < livejournal
+< orkut < friendster by edges) that the scaling experiments rely on.
+"""
+
+from repro.bench import ResultWriter, TextTable
+from repro.bench.paper import TABLE3_DATASETS
+from repro.graph.datasets import dataset_names, load_dataset
+from repro.graph.properties import summarize
+
+
+def run_table3():
+    table = TextTable(
+        ["network", "|V| (ours)", "|E| (ours)", "|V| (paper)", "|E| (paper)", "max deg"],
+        title="Table 3: dataset stand-ins vs paper SNAP datasets",
+    )
+    rows = []
+    for name in dataset_names():
+        edges = load_dataset(name)
+        s = summarize(edges)
+        pv, pe = TABLE3_DATASETS[name]
+        table.add_row(name, s.num_vertices, s.num_edges, pv, pe, s.max_degree)
+        rows.append((name, s.num_edges))
+    # relative ordering must match the paper's
+    sizes = [m for _, m in rows]
+    assert sizes == sorted(sizes), "stand-ins must preserve the paper's size order"
+    writer = ResultWriter("table3_datasets")
+    writer.add(table)
+    writer.write()
+    return sizes
+
+
+def test_table3_datasets(benchmark, run_once):
+    sizes = run_once(benchmark, run_table3)
+    assert len(sizes) == 6

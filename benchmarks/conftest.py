@@ -1,0 +1,24 @@
+"""Shared benchmark configuration.
+
+Run with::
+
+    pytest benchmarks/ --benchmark-only
+
+Each experiment prints its tables (add ``-s`` to see them live) and
+writes them to ``benchmarks/results/<experiment>.txt``. Experiments run
+once (``benchmark.pedantic(..., rounds=1)``) — they are full pipelines,
+not microbenchmarks; the micro-kernel timings live in
+``bench_micro_kernels.py`` with normal repetition.
+"""
+
+import pytest
+
+
+def once(benchmark, fn):
+    """Run a heavyweight experiment exactly once under pytest-benchmark."""
+    return benchmark.pedantic(fn, rounds=1, iterations=1)
+
+
+@pytest.fixture
+def run_once():
+    return once

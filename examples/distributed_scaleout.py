@@ -1,0 +1,68 @@
+#!/usr/bin/env python
+"""Distributed scale-out of the pipeline's heavy kernels (SPMD emulation).
+
+The paper's shared-memory algorithm tops out at one node; its citations
+[10, 16, 31, 50] sketch the distributed-memory continuation. This demo
+runs the two kernels that dominate the pipeline — Support (triangle
+counting) and connectivity — as shared-nothing SPMD programs over 1..8
+emulated ranks, verifies them against the single-node kernels, and
+reports the communication volume a real cluster would pay.
+
+Run:  python examples/distributed_scaleout.py [--dataset amazon]
+"""
+
+import argparse
+
+from repro.bench import TextTable
+from repro.distributed import (
+    distributed_components,
+    distributed_support,
+    distributed_triangle_count,
+)
+from repro.graph.datasets import load_dataset
+from repro.graph import CSRGraph
+from repro.triangles import enumerate_triangles
+
+import numpy as np
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--dataset", default="amazon",
+                        choices=["amazon", "dblp", "youtube"])
+    args = parser.parse_args()
+
+    edges = load_dataset(args.dataset)
+    graph = CSRGraph.from_edgelist(edges)
+    tri = enumerate_triangles(graph)
+    print(f"{args.dataset} stand-in: {edges.num_vertices} vertices, "
+          f"{edges.num_edges} edges, {tri.count} triangles\n")
+
+    table = TextTable(
+        ["ranks", "triangles ok", "support ok", "cc ok",
+         "tri comm MB", "cc comm MB"],
+        title="Shared-nothing kernels on the SPMD emulator",
+    )
+    import scipy.sparse.csgraph as csgraph
+
+    ncomp_ref, _ = csgraph.connected_components(graph.to_scipy(), directed=False)
+    sup_ref = tri.support()
+    for ranks in (1, 2, 4, 8):
+        count, tri_stats = distributed_triangle_count(edges, ranks)
+        sup, _ = distributed_support(edges, ranks)
+        labels, cc_stats = distributed_components(edges, ranks)
+        table.add_row(
+            ranks,
+            count == tri.count,
+            bool(np.array_equal(sup, sup_ref)),
+            len(set(labels.tolist())) == ncomp_ref,
+            tri_stats.bytes / 1e6,
+            cc_stats.bytes / 1e6,
+        )
+    print(table.render())
+    print("\nCommunication volume grows with rank count — the scale-out cost a"
+          " real MPI run pays; computation per rank shrinks proportionally.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,85 @@
+#!/usr/bin/env python
+"""Detecting protein complexes in a PPI-style interaction network.
+
+Second motivating domain from the paper's introduction: "clustering
+similar kinds of proteins and recognizing the functionality of unknown
+proteins". Protein complexes appear as dense, overlapping clusters in
+protein–protein interaction (PPI) networks — a shared protein can
+participate in multiple complexes. We synthesize such a network
+(near-clique complexes with shared subunits + noisy interactions),
+detect complexes as k-truss communities of a *bait* protein, and score
+recovery against the planted ground truth.
+
+Run:  python examples/protein_complex_detection.py [--seed 3]
+"""
+
+import argparse
+
+import numpy as np
+
+from repro.community import online_communities, search_communities
+from repro.equitruss import build_index
+from repro.graph import CSRGraph, build_edgelist
+from repro.graph.generators import erdos_renyi_gnm, planted_community_graph
+
+
+def make_ppi_network(seed: int) -> tuple[CSRGraph, list[np.ndarray]]:
+    # overlap=1: complexes share single subunit proteins (vertex overlap).
+    # Sharing an *edge* (two proteins) would triangle-connect the
+    # complexes into one k-truss community — the same reason the paper's
+    # k-truss communities overlap on vertices, not edges.
+    complexes, members = planted_community_graph(
+        num_communities=8, size_lo=6, size_hi=9,
+        p_intra=0.9, overlap=1, seed=seed,
+    )
+    # spurious interactions (experimental noise)
+    noise = erdos_renyi_gnm(complexes.num_vertices, complexes.num_edges // 6, seed=seed + 1)
+    src = np.concatenate([complexes.u, noise.u])
+    dst = np.concatenate([complexes.v, noise.v])
+    graph = CSRGraph.from_edgelist(
+        build_edgelist(src, dst, num_vertices=complexes.num_vertices)
+    )
+    return graph, members
+
+
+def jaccard(a: set[int], b: set[int]) -> float:
+    return len(a & b) / len(a | b)
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--seed", type=int, default=3)
+    parser.add_argument("--k", type=int, default=4, help="cohesion level")
+    args = parser.parse_args()
+
+    graph, complexes = make_ppi_network(args.seed)
+    print(f"PPI network: {graph.num_vertices} proteins, {graph.num_edges} interactions, "
+          f"{len(complexes)} planted complexes")
+
+    index = build_index(graph, variant="afforest").index
+    print(f"index: {index.num_supernodes} supernodes, {index.num_superedges} superedges\n")
+
+    recovered = 0
+    for ci, complex_members in enumerate(complexes):
+        bait = int(complex_members[len(complex_members) // 2])
+        comms = search_communities(index, bait, args.k)
+        truth = set(complex_members.tolist())
+        best = max((jaccard(set(c.vertices().tolist()), truth) for c in comms), default=0.0)
+        status = "recovered" if best >= 0.6 else "missed"
+        recovered += best >= 0.6
+        print(f"complex {ci}: bait protein {bait:4d} -> "
+              f"{len(comms)} candidate communit{'y' if len(comms) == 1 else 'ies'}, "
+              f"best Jaccard {best:.2f} ({status})")
+
+    print(f"\nrecovered {recovered}/{len(complexes)} complexes at k={args.k}")
+
+    # cross-check one query against the index-free ground truth engine
+    bait = int(complexes[0][0])
+    a = {c.edge_tuples() for c in search_communities(index, bait, args.k)}
+    b = {c.edge_tuples() for c in online_communities(graph, bait, args.k)}
+    assert a == b, "indexed and online engines must agree"
+    print("indexed result verified against index-free ground-truth search")
+
+
+if __name__ == "__main__":
+    main()

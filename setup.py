@@ -1,0 +1,7 @@
+"""Legacy setup shim: enables editable installs on environments whose
+setuptools predates PEP 660 wheel-less editable builds (no `wheel` pkg,
+no network). All real metadata lives in pyproject.toml."""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,69 @@
+"""ASCII bar/line renderings for the paper's figures.
+
+Benchmarks regenerate each figure's *series*; these helpers make them
+eyeball-comparable in a terminal or a text log.
+"""
+
+from __future__ import annotations
+
+
+def bar_chart(
+    labels: list[str],
+    values: list[float],
+    width: int = 50,
+    title: str | None = None,
+    unit: str = "",
+) -> str:
+    """Horizontal bar chart; bars scaled to the max value."""
+    if len(labels) != len(values):
+        raise ValueError("labels and values must align")
+    lines = [title] if title else []
+    if not values:
+        return "\n".join(lines + ["(empty)"])
+    peak = max(max(values), 1e-12)
+    label_w = max((len(x) for x in labels), default=0)
+    for label, value in zip(labels, values):
+        bar = "#" * max(int(round(width * value / peak)), 0)
+        lines.append(f"{label.ljust(label_w)} | {bar} {value:.4g}{unit}")
+    return "\n".join(lines)
+
+
+def line_chart(
+    xs: list,
+    series: dict[str, list[float]],
+    height: int = 12,
+    title: str | None = None,
+    logy: bool = False,
+) -> str:
+    """Multi-series line chart on a character grid (x = given points)."""
+    import math
+
+    cols = len(xs)
+    if cols == 0 or not series:
+        return title or "(empty)"
+    for name, ys in series.items():
+        if len(ys) != cols:
+            raise ValueError(f"series {name!r} length mismatch")
+    marks = "*o+x@%&$"
+    all_vals = [v for ys in series.values() for v in ys]
+    if logy:
+        all_vals = [math.log10(max(v, 1e-12)) for v in all_vals]
+    lo, hi = min(all_vals), max(all_vals)
+    span = (hi - lo) or 1.0
+    grid = [[" "] * (cols * 6) for _ in range(height)]
+    for si, (name, ys) in enumerate(series.items()):
+        mark = marks[si % len(marks)]
+        for ci, y in enumerate(ys):
+            val = math.log10(max(y, 1e-12)) if logy else y
+            row = height - 1 - int((val - lo) / span * (height - 1))
+            grid[row][ci * 6 + 2] = mark
+    lines = [title] if title else []
+    for row in grid:
+        lines.append("".join(row).rstrip())
+    lines.append("-" * (cols * 6))
+    lines.append("".join(str(x).ljust(6) for x in xs))
+    legend = "  ".join(
+        f"{marks[i % len(marks)]}={name}" for i, name in enumerate(series)
+    )
+    lines.append(legend + ("   (log y)" if logy else ""))
+    return "\n".join(lines)

@@ -1,0 +1,118 @@
+"""Published numbers from the paper, for side-by-side benchmark output.
+
+All values transcribed from the ICPP 2023 paper's tables, figures, and
+prose. Variant keys use our names: ``baseline`` / ``coptimal`` /
+``afforest``; ``original`` is the Akbas et al. serial Java code.
+"""
+
+from __future__ import annotations
+
+#: Table 3 — SNAP dataset sizes.
+TABLE3_DATASETS: dict[str, tuple[int, int]] = {
+    "amazon": (334_863, 925_872),
+    "dblp": (317_080, 1_049_866),
+    "youtube": (1_134_890, 2_987_624),
+    "livejournal": (3_997_962, 34_681_189),
+    "orkut": (3_072_441, 117_185_083),
+    "friendster": (65_608_366, 1_806_067_135),
+}
+
+#: Table 4 — single-thread index-construction seconds
+#: (SpNd + SpEdge + SmGraph). ``None`` = out of memory (MLE).
+TABLE4_SERIAL_SECONDS: dict[str, dict[str, float | None]] = {
+    "amazon": {"baseline": 6.77, "coptimal": 3.96, "afforest": 3.24, "original": 1.46},
+    "dblp": {"baseline": 10.92, "coptimal": 7.37, "afforest": 6.57, "original": 2.33},
+    "livejournal": {"baseline": 1549.0, "coptimal": 851.0, "afforest": 608.0, "original": 467.0},
+    "orkut": {"baseline": 9631.0, "coptimal": 5268.0, "afforest": 2990.0, "original": None},
+}
+
+#: Table 5 — supernode/superedge counts and 1-thread vs 128-thread
+#: times (seconds) with speedups, per variant.
+TABLE5: dict[str, dict] = {
+    "amazon": {
+        "supernodes": 115_060,
+        "superedges": 103_513,
+        "baseline": (7.26, 0.52, 13.86),
+        "coptimal": (4.45, 0.46, 9.7),
+        "afforest": (3.74, 0.40, 9.16),
+    },
+    "dblp": {
+        "supernodes": 126_904,
+        "superedges": 105_409,
+        "baseline": (11.52, 0.62, 18.53),
+        "coptimal": (7.96, 0.51, 15.52),
+        "afforest": (7.16, 0.49, 14.46),
+    },
+    "youtube": {
+        "supernodes": 400_408,
+        "superedges": 940_550,
+        "baseline": (36.56, 2.62, 13.92),
+        "coptimal": (21.60, 2.44, 8.82),
+        "afforest": (16.07, 2.27, 7.06),
+    },
+    "livejournal": {
+        "supernodes": 4_765_102,
+        "superedges": 13_405_280,
+        "baseline": (1593.43, 58.34, 27.31),
+        "coptimal": (895.03, 40.21, 22.25),
+        "afforest": (651.69, 33.33, 19.55),
+    },
+    "orkut": {
+        "supernodes": 17_227_001,
+        "superedges": 76_631_446,
+        "baseline": (9924.57, 334.89, 29.63),
+        "coptimal": (5561.59, 245.97, 22.61),
+        "afforest": (3283.14, 179.64, 18.27),
+    },
+}
+
+#: Figure 5 — single-thread SpNode speedup over Baseline.
+FIG5_SPNODE_SPEEDUP: dict[str, dict[str, float]] = {
+    "orkut": {"coptimal": 1.98, "afforest": 4.13},
+    "livejournal": {"coptimal": 2.0, "afforest": 3.07},
+    "youtube": {"coptimal": 2.07, "afforest": 3.62},
+    "dblp": {"coptimal": 1.66, "afforest": 2.0},
+}
+
+#: Figure 5/8 prose — absolute single-thread SpNode seconds.
+FIG5_SPNODE_SECONDS: dict[str, dict[str, float]] = {
+    "orkut": {"baseline": 8655.0, "coptimal": 4371.0, "afforest": 2093.0},
+    "livejournal": {"baseline": 1393.0, "coptimal": 696.0, "afforest": 453.0},
+}
+
+#: Figure 4 prose — Baseline parallel kernel shares (percent of total).
+FIG4_SPNODE_SHARE: dict[str, float] = {"youtube": 79.0, "orkut": 87.0}
+FIG4_SPEDGE_SHARE: dict[str, float] = {"dblp": 6.0, "youtube": 10.0}
+
+#: Figure 6 prose — end-to-end seconds at 1 vs 128 threads.
+FIG6_ENDPOINTS: dict[str, dict[str, tuple[float, float]]] = {
+    "orkut": {
+        "baseline": (9924.0, 334.0),
+        "coptimal": (5561.0, 245.0),
+        "afforest": (3283.0, 179.0),
+    },
+    "livejournal": {"coptimal": (895.0, 40.0)},
+    "youtube": {"baseline": (36.56, 2.62)},
+}
+
+#: Figure 7 — Friendster SpNode seconds (Afforest), 1 vs 128 threads.
+FIG7_FRIENDSTER_SPNODE: tuple[float, float] = (34_332.0, 612.0)
+
+#: Figure 8 prose — Orkut Afforest / LiveJournal C-Opt SpNode seconds
+#: at 1, 8, 32, 128 threads.
+FIG8_SPNODE_SCALING: dict[str, dict[str, dict[int, float]]] = {
+    "orkut": {"afforest": {1: 2093.0, 8: 407.0, 32: 127.0, 128: 60.0}},
+    "livejournal": {"coptimal": {1: 696.0, 8: 140.0, 32: 42.0, 128: 16.0}},
+}
+
+#: Figure 9 prose — Orkut parallel efficiency (percent) at selected
+#: thread counts.
+FIG9_ORKUT_EFFICIENCY: dict[str, dict[int, float]] = {
+    "coptimal": {2: 73.0, 32: 37.66, 64: 27.0, 128: 17.0},
+    "afforest": {2: 70.0, 32: 32.0, 64: 22.0, 128: 14.0},
+    "baseline": {32: 38.89},
+}
+
+#: Headline claims (abstract / §4.3).
+HEADLINE_SPEEDUP_RANGE: tuple[float, float] = (19.0, 55.0)
+MAX_THREADS = 128

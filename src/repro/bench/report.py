@@ -1,0 +1,38 @@
+"""Benchmark result files: one text report per experiment.
+
+Benchmarks both print their tables (visible with ``pytest -s``) and
+persist them under ``benchmarks/results/`` so EXPERIMENTS.md can cite
+stable artifacts.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+
+class ResultWriter:
+    """Accumulates report sections and writes them to one file."""
+
+    def __init__(self, experiment: str, directory: str | Path | None = None) -> None:
+        self.experiment = experiment
+        if directory is None:
+            directory = Path(__file__).resolve().parents[3] / "benchmarks" / "results"
+        self.directory = Path(directory)
+        self.sections: list[str] = []
+
+    def add(self, text) -> None:
+        """Append a section (anything with a sensible ``str()``)."""
+        self.sections.append(str(text))
+
+    def render(self) -> str:
+        header = f"### {self.experiment} ###"
+        return "\n\n".join([header, *self.sections]) + "\n"
+
+    def write(self, echo: bool = True) -> Path:
+        self.directory.mkdir(parents=True, exist_ok=True)
+        path = self.directory / f"{self.experiment}.txt"
+        text = self.render()
+        path.write_text(text, encoding="utf-8")
+        if echo:
+            print(text)
+        return path

@@ -1,0 +1,31 @@
+"""Connected components algorithms.
+
+The paper's key observation is that EquiTruss supernode construction *is*
+a connected-components problem on the edge-induced graph, so it reuses
+parallel CC machinery: Shiloach–Vishkin [39] for the Baseline/C-Optimal
+variants and Afforest [43] for the fastest variant. This package holds
+the vertex-graph versions (substrate + comparative benchmarks) built on
+generic cores (:mod:`repro.cc.core`) that the edge-graph EquiTruss
+kernels share.
+"""
+
+from repro.cc.core import compress, minlabel_hook_rounds, normalize_labels, pairs_to_csr
+from repro.cc.union_find import UnionFind
+from repro.cc.shiloach_vishkin import shiloach_vishkin
+from repro.cc.afforest import afforest
+from repro.cc.label_prop import label_propagation
+from repro.cc.bfs import bfs_components
+from repro.cc.api import connected_components
+
+__all__ = [
+    "UnionFind",
+    "afforest",
+    "bfs_components",
+    "compress",
+    "connected_components",
+    "label_propagation",
+    "minlabel_hook_rounds",
+    "normalize_labels",
+    "pairs_to_csr",
+    "shiloach_vishkin",
+]

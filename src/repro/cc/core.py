@@ -1,0 +1,131 @@
+"""Generic vectorized cores shared by all CC algorithms.
+
+The CRCW PRAM writes of Shiloach–Vishkin ("benign races" in the paper's
+§3.1) are emulated deterministically: concurrent hooking attempts on the
+same root become a single priority write via ``np.minimum.at``, which is
+one legal serialization of the racy OpenMP execution — the fixpoint (the
+partition into components) is identical.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import InvalidParameterError
+
+
+def minlabel_hook_rounds(
+    comp: np.ndarray,
+    a: np.ndarray,
+    b: np.ndarray,
+    handle=None,
+) -> int:
+    """Run SV hooking + shortcut rounds to convergence over pairs (a, b).
+
+    ``comp`` is modified in place; entries not touched by any pair are
+    left alone, so a caller may run disjoint node subsets (the Φ_k levels
+    of EquiTruss) against one global parent array. Each iteration does
+    one hooking pass over all pairs (both directions, min-priority
+    writes onto roots) followed by full pointer-jumping — the structure
+    of Algorithm 2's hooking/shortcut phases. Returns the number of
+    hooking rounds; ``handle.add_round`` is fed the per-round work when
+    an instrumentation handle is given.
+    """
+    if a.shape != b.shape:
+        raise InvalidParameterError("hook pair arrays must have equal shape")
+    rounds = 0
+    if a.size == 0:
+        return rounds
+    touched = np.unique(np.concatenate([a, b]))
+    while True:
+        rounds += 1
+        if handle is not None:
+            handle.add_round(2 * a.size)
+        ca = comp[a]
+        cb = comp[b]
+        hook_b = (ca < cb) & (comp[cb] == cb)
+        hook_a = (cb < ca) & (comp[ca] == ca)
+        changed = bool(hook_b.any() or hook_a.any())
+        if hook_b.any():
+            np.minimum.at(comp, cb[hook_b], ca[hook_b])
+        if hook_a.any():
+            np.minimum.at(comp, ca[hook_a], cb[hook_a])
+        compress(comp, touched)
+        if not changed:
+            break
+    return rounds
+
+
+def link_once(
+    comp: np.ndarray,
+    a: np.ndarray,
+    b: np.ndarray,
+    nodes: np.ndarray,
+    handle=None,
+) -> None:
+    """One opportunistic hooking pass + compress (Afforest's ``link``).
+
+    Unlike :func:`minlabel_hook_rounds` this does *not* iterate to
+    convergence — Afforest's sampling phase is best-effort; correctness
+    is restored by the finish phase, which processes every node outside
+    the dominant component on its full adjacency.
+    """
+    if a.size == 0:
+        return
+    if handle is not None:
+        handle.add_round(2 * a.size)
+    ca = comp[a]
+    cb = comp[b]
+    hook_b = (ca < cb) & (comp[cb] == cb)
+    hook_a = (cb < ca) & (comp[ca] == ca)
+    if hook_b.any():
+        np.minimum.at(comp, cb[hook_b], ca[hook_b])
+    if hook_a.any():
+        np.minimum.at(comp, ca[hook_a], cb[hook_a])
+    compress(comp, nodes)
+
+
+def compress(comp: np.ndarray, nodes: np.ndarray | None = None) -> int:
+    """Full pointer jumping until every node points at its root.
+
+    Returns the number of jump rounds (the shortcut depth).
+    """
+    rounds = 0
+    if nodes is None:
+        while True:
+            nxt = comp[comp]
+            if np.array_equal(nxt, comp):
+                return rounds
+            comp[:] = nxt
+            rounds += 1
+    while True:
+        cur = comp[nodes]
+        nxt = comp[cur]
+        if np.array_equal(nxt, cur):
+            return rounds
+        comp[nodes] = nxt
+        rounds += 1
+
+
+def pairs_to_csr(num_nodes: int, a: np.ndarray, b: np.ndarray):
+    """Symmetric CSR adjacency of an undirected pair list.
+
+    Used to give the derived (edge-induced) graphs the neighbor-list
+    shape Afforest's sampling needs. Returns ``(indptr, neighbors)``.
+    """
+    if a.shape != b.shape:
+        raise InvalidParameterError("pair arrays must have equal shape")
+    src = np.concatenate([a, b])
+    dst = np.concatenate([b, a])
+    order = np.argsort(src, kind="stable")
+    src, dst = src[order], dst[order]
+    counts = np.bincount(src, minlength=num_nodes)
+    indptr = np.zeros(num_nodes + 1, dtype=np.int64)
+    np.cumsum(counts, out=indptr[1:])
+    return indptr, dst
+
+
+def normalize_labels(comp: np.ndarray) -> np.ndarray:
+    """Relabel arbitrary component ids to dense 0..C-1 (stable order)."""
+    _, dense = np.unique(comp, return_inverse=True)
+    return dense.astype(np.int64)

@@ -1,0 +1,202 @@
+"""Command-line interface: ``python -m repro`` / ``equitruss``.
+
+Subcommands
+-----------
+generate
+    Materialize a synthetic dataset stand-in or a generator model to a
+    graph file (``.npz`` or SNAP text).
+index
+    Build the EquiTruss index for a graph file and persist it.
+query
+    Answer local community queries from a saved index.
+info
+    Summarize a graph or index file.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+import numpy as np
+
+from repro import __version__
+
+
+def _cmd_generate(args: argparse.Namespace) -> int:
+    from repro.graph import generators, io
+    from repro.graph.datasets import DATASETS, load_dataset
+
+    if args.model in DATASETS:
+        edges = load_dataset(args.model, scale_factor=args.scale_factor)
+    elif args.model == "rmat":
+        edges = generators.rmat_graph(args.scale, args.edge_factor, seed=args.seed)
+    elif args.model == "gnm":
+        edges = generators.erdos_renyi_gnm(args.n, args.m, seed=args.seed)
+    else:
+        print(f"unknown model {args.model!r}", file=sys.stderr)
+        return 2
+    out = Path(args.out)
+    if out.suffix == ".npz":
+        io.save_npz(edges, out)
+    else:
+        io.write_snap_text(edges, out)
+    print(f"wrote {edges.num_vertices} vertices / {edges.num_edges} edges -> {out}")
+    return 0
+
+
+def _cmd_index(args: argparse.Namespace) -> int:
+    from repro.equitruss import build_index
+    from repro.graph.io import load_graph
+
+    graph = load_graph(args.graph)
+    result = build_index(graph, variant=args.variant, num_workers=args.workers)
+    index = result.index
+    index.validate()
+    index.save(args.out)
+    stats = index.stats()
+    print(
+        f"built {args.variant} index in {result.seconds:.3f}s: "
+        f"{stats['num_supernodes']} supernodes, {stats['num_superedges']} superedges, "
+        f"kmax={stats['kmax']} -> {args.out}"
+    )
+    if args.breakdown:
+        for name, secs in result.breakdown.seconds.items():
+            print(f"  {name:<12} {secs:8.4f}s")
+    return 0
+
+
+def _cmd_query(args: argparse.Namespace) -> int:
+    from repro.community import (
+        max_k_communities,
+        search_communities,
+        top_r_communities,
+    )
+    from repro.equitruss import EquiTrussIndex
+
+    index = EquiTrussIndex.load(args.index)
+    if args.max_k:
+        k, communities = max_k_communities(index, args.vertex)
+        if not communities:
+            print(f"vertex {args.vertex}: no k-truss community")
+            return 0
+        print(f"vertex {args.vertex}: maximum cohesion k={k}")
+    elif args.top_r is not None:
+        communities = top_r_communities(index, args.vertex, args.top_r)
+    else:
+        if args.k is None:
+            print("either --k, --top-r, or --max-k is required", file=sys.stderr)
+            return 2
+        communities = search_communities(index, args.vertex, args.k)
+    for i, c in enumerate(communities):
+        verts = c.vertices()
+        head = ", ".join(map(str, verts[:12].tolist()))
+        more = "" if verts.size <= 12 else f", ... ({verts.size} total)"
+        print(f"[{i}] k={c.k} edges={c.num_edges} vertices={{{head}{more}}}")
+    if not communities:
+        print(f"vertex {args.vertex}: no community at the requested level")
+    return 0
+
+
+def _cmd_info(args: argparse.Namespace) -> int:
+    path = Path(args.file)
+    with np.load(path) as data:
+        is_index = "supernode_trussness" in data.files
+    if is_index:
+        from repro.equitruss import EquiTrussIndex
+
+        index = EquiTrussIndex.load(path)
+        print(f"EquiTruss index over {index.graph.num_vertices} vertices / "
+              f"{index.graph.num_edges} edges")
+        for key, value in index.stats().items():
+            print(f"  {key}: {value}")
+    else:
+        from repro.graph.io import load_graph
+        from repro.graph.properties import summarize
+
+        graph = load_graph(path)
+        s = summarize(graph.edges)
+        print(f"graph: {s.num_vertices} vertices, {s.num_edges} edges, "
+              f"max degree {s.max_degree}, mean degree {s.mean_degree:.2f}, "
+              f"{s.num_isolated} isolated")
+    return 0
+
+
+def _cmd_verify(args: argparse.Namespace) -> int:
+    from repro.equitruss import EquiTrussIndex
+    from repro.equitruss.verify import verify_index_semantics
+    from repro.errors import IndexIntegrityError
+
+    index = EquiTrussIndex.load(args.index)
+    try:
+        verify_index_semantics(index.graph, index)
+    except IndexIntegrityError as exc:
+        print(f"FAILED: {exc}", file=sys.stderr)
+        return 1
+    print(
+        f"OK: {index.num_supernodes} supernodes / {index.num_superedges} "
+        f"superedges satisfy Definitions 8 and 9"
+    )
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="equitruss",
+        description="Parallel EquiTruss index construction and local community search",
+    )
+    parser.add_argument("--version", action="version", version=f"repro {__version__}")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    gen = sub.add_parser("generate", help="materialize a synthetic graph")
+    gen.add_argument("model", help="dataset name (amazon..friendster) or rmat|gnm")
+    gen.add_argument("--out", required=True, help="output file (.npz or .txt)")
+    gen.add_argument("--scale-factor", type=float, default=1.0)
+    gen.add_argument("--scale", type=int, default=10, help="rmat: log2(vertices)")
+    gen.add_argument("--edge-factor", type=int, default=8, help="rmat: edges per vertex")
+    gen.add_argument("--n", type=int, default=1000, help="gnm: vertices")
+    gen.add_argument("--m", type=int, default=5000, help="gnm: edges")
+    gen.add_argument("--seed", type=int, default=0)
+    gen.set_defaults(func=_cmd_generate)
+
+    idx = sub.add_parser("index", help="build and save an EquiTruss index")
+    idx.add_argument("graph", help="graph file (.npz or SNAP text)")
+    idx.add_argument("--out", required=True, help="output index .npz")
+    idx.add_argument("--variant", default="afforest",
+                     choices=["baseline", "coptimal", "afforest"])
+    idx.add_argument("--workers", type=int, default=1)
+    idx.add_argument("--breakdown", action="store_true",
+                     help="print the per-kernel timing breakdown")
+    idx.set_defaults(func=_cmd_index)
+
+    q = sub.add_parser("query", help="local community search from a saved index")
+    q.add_argument("index", help="index .npz from the index subcommand")
+    q.add_argument("--vertex", type=int, required=True)
+    q.add_argument("--k", type=int, default=None)
+    q.add_argument("--top-r", type=int, default=None,
+                   help="return the r most cohesive communities")
+    q.add_argument("--max-k", action="store_true",
+                   help="query at the vertex's maximum cohesion level")
+    q.set_defaults(func=_cmd_query)
+
+    info = sub.add_parser("info", help="summarize a graph or index file")
+    info.add_argument("file")
+    info.set_defaults(func=_cmd_info)
+
+    ver = sub.add_parser(
+        "verify", help="deep semantic verification of a saved index"
+    )
+    ver.add_argument("index", help="index .npz (embeds its graph)")
+    ver.set_defaults(func=_cmd_verify)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,51 @@
+"""Local (goal-oriented) community search — what the index is *for*.
+
+Given a query vertex q and cohesion parameter k, a *k-truss community*
+(Definition 7) is a maximal set of k-triangle-connected edges of the
+maximal k-truss that touches q. A vertex may belong to several
+overlapping communities (Figure 1 of the paper).
+
+Three engines:
+
+* :func:`search_communities` — index-backed query over the EquiTruss
+  supergraph (supernode anchoring + superedge traversal), the fast path
+  the paper's index construction enables.
+* :func:`online_communities` — index-free ground truth: direct
+  triangle-connectivity CC inside the maximal k-truss.
+* :class:`TCPIndex` — the TCP-Index comparator [Huang et al.,
+  SIGMOD'14; ref. 22/23 of the paper]: per-vertex maximum spanning
+  forests over triangle trussness, with the costly per-query edge
+  reconstruction the paper criticizes.
+"""
+
+from repro.community.model import Community
+from repro.community.search import search_communities
+from repro.community.online import online_communities
+from repro.community.tcp_index import TCPIndex
+from repro.community.advanced import (
+    communities_for_all_k,
+    max_k_communities,
+    search_communities_multi,
+    top_r_communities,
+)
+from repro.community.metrics import (
+    community_conductance,
+    community_density,
+    community_edge_support,
+    membership_counts,
+)
+
+__all__ = [
+    "Community",
+    "TCPIndex",
+    "communities_for_all_k",
+    "community_conductance",
+    "community_density",
+    "community_edge_support",
+    "max_k_communities",
+    "membership_counts",
+    "online_communities",
+    "search_communities",
+    "search_communities_multi",
+    "top_r_communities",
+]

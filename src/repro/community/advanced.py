@@ -1,0 +1,92 @@
+"""Advanced query operations over the EquiTruss index.
+
+The summary graph supports richer goal-oriented queries than the basic
+"communities of q at k" — these follow the query repertoire of the
+EquiTruss line of work (Akbas & Zhao; Huang et al.):
+
+* :func:`max_k_communities` — the most cohesive communities of a vertex
+  (largest k with a non-empty answer).
+* :func:`top_r_communities` — the r most cohesive communities, scanning
+  k downward.
+* :func:`communities_for_all_k` — the full community profile of a
+  vertex.
+* :func:`search_communities_multi` — communities containing *all* of a
+  set of query vertices (cocktail-party-style group query [42]).
+
+All of them are pure supergraph traversals — no trussness
+recomputation.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.community.model import Community
+from repro.community.search import query_candidate_ks, search_communities
+from repro.equitruss.index import EquiTrussIndex
+from repro.errors import InvalidParameterError
+
+
+def max_k_communities(
+    index: EquiTrussIndex, query_vertex: int
+) -> tuple[int, list[Community]]:
+    """The communities of ``query_vertex`` at its maximum cohesion level.
+
+    Returns ``(k, communities)``; ``(0, [])`` when the vertex touches no
+    trussness ≥ 3 edge.
+    """
+    ks = query_candidate_ks(index, query_vertex)
+    if ks.size == 0:
+        return 0, []
+    k = int(ks[-1])
+    return k, search_communities(index, query_vertex, k)
+
+
+def top_r_communities(
+    index: EquiTrussIndex, query_vertex: int, r: int
+) -> list[Community]:
+    """The ``r`` most cohesive communities of a vertex.
+
+    Scans k from the vertex's maximum level downward and collects
+    communities in (k descending, size descending) order. A community at
+    a lower k that is a superset of one already collected still counts —
+    it is a *different* community (different cohesion guarantee), as in
+    the top-r semantics of the truss-community literature.
+    """
+    if r < 1:
+        raise InvalidParameterError(f"r must be >= 1, got {r}")
+    out: list[Community] = []
+    for k in query_candidate_ks(index, query_vertex)[::-1].tolist():
+        for community in search_communities(index, query_vertex, k):
+            out.append(community)
+            if len(out) == r:
+                return out
+    return out
+
+
+def communities_for_all_k(
+    index: EquiTrussIndex, query_vertex: int
+) -> dict[int, list[Community]]:
+    """Complete community profile: k → communities, ascending k."""
+    return {
+        int(k): search_communities(index, query_vertex, int(k))
+        for k in query_candidate_ks(index, query_vertex).tolist()
+    }
+
+
+def search_communities_multi(
+    index: EquiTrussIndex, query_vertices: list[int] | np.ndarray, k: int
+) -> list[Community]:
+    """Communities containing **every** vertex of ``query_vertices``.
+
+    Anchors on the first vertex and filters by membership of the rest —
+    correctness follows from communities being maximal: a community
+    containing all the vertices must appear among any member's
+    communities.
+    """
+    verts = list(dict.fromkeys(int(v) for v in np.asarray(query_vertices).ravel()))
+    if not verts:
+        raise InvalidParameterError("query_vertices must be non-empty")
+    candidates = search_communities(index, verts[0], k)
+    rest = verts[1:]
+    return [c for c in candidates if all(c.contains_vertex(v) for v in rest)]

@@ -1,0 +1,62 @@
+"""Community quality metrics.
+
+Used by the example applications to report why k-truss communities are
+cohesive (the paper's motivation: k-truss avoids the lack of cohesion of
+k-core and the intractability of cliques).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.community.model import Community
+from repro.graph.csr import CSRGraph
+
+
+def community_density(community: Community) -> float:
+    """Internal edge density: |E_c| / (|V_c| choose 2)."""
+    nv = community.num_vertices
+    if nv < 2:
+        return 0.0
+    return community.num_edges / (nv * (nv - 1) / 2)
+
+
+def community_conductance(community: Community) -> float:
+    """Cut edges / min(volume inside, volume outside). 0 = isolated."""
+    g = community.graph
+    verts = community.vertices()
+    inside = np.zeros(g.num_vertices, dtype=bool)
+    inside[verts] = True
+    u, v = g.edges.u, g.edges.v
+    cut = int((inside[u] != inside[v]).sum())
+    vol_in = int(inside[u].sum() + inside[v].sum())
+    vol_out = 2 * g.num_edges - vol_in
+    denom = min(vol_in, vol_out)
+    if denom == 0:
+        return 0.0
+    return cut / denom
+
+
+def community_edge_support(community: Community) -> float:
+    """Mean in-community support of member edges (cohesion measure)."""
+    from repro.triangles.enumerate import enumerate_triangles
+
+    g = community.graph
+    sub = CSRGraph.from_edgelist(g.edges.subset(community.edge_ids))
+    tri = enumerate_triangles(sub)
+    if community.num_edges == 0:
+        return 0.0
+    sup = tri.support()
+    # support array is indexed by the *subset* edge ids
+    return float(sup.mean())
+
+
+def membership_counts(
+    communities: list[Community], num_vertices: int
+) -> np.ndarray:
+    """How many of the given communities each vertex belongs to —
+    quantifies the overlapping membership of Figure 1."""
+    counts = np.zeros(num_vertices, dtype=np.int64)
+    for c in communities:
+        counts[c.vertices()] += 1
+    return counts

@@ -1,0 +1,62 @@
+"""Community result type shared by all query engines."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.graph.csr import CSRGraph
+
+
+@dataclass(frozen=True)
+class Community:
+    """One k-truss community: an edge set of the queried graph.
+
+    Engines return communities in a canonical order (descending size,
+    then smallest edge id) with sorted ``edge_ids`` so results compare
+    structurally.
+    """
+
+    k: int
+    edge_ids: np.ndarray
+    graph: CSRGraph = field(repr=False, compare=False)
+
+    @property
+    def num_edges(self) -> int:
+        return self.edge_ids.size
+
+    def vertices(self) -> np.ndarray:
+        """Sorted distinct member vertices."""
+        u, v = self.graph.edges.endpoints(self.edge_ids)
+        return np.unique(np.concatenate([u, v]))
+
+    @property
+    def num_vertices(self) -> int:
+        return self.vertices().size
+
+    def edge_tuples(self) -> frozenset[tuple[int, int]]:
+        """Edges as canonical (u, v) tuples — the comparison form."""
+        u, v = self.graph.edges.endpoints(self.edge_ids)
+        return frozenset(zip(u.tolist(), v.tolist()))
+
+    def contains_vertex(self, q: int) -> bool:
+        u, v = self.graph.edges.endpoints(self.edge_ids)
+        return bool(np.any(u == q) or np.any(v == q))
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Community(k={self.k}, edges={self.num_edges}, vertices={self.num_vertices})"
+
+
+def canonical_order(communities: list[Community]) -> list[Community]:
+    """Deterministic community ordering: larger first, then min edge id."""
+    def key(c: Community):
+        first = int(c.edge_ids[0]) if c.num_edges else -1
+        return (-c.num_edges, first)
+
+    return sorted(communities, key=key)
+
+
+def as_edge_set_family(communities: list[Community]) -> set[frozenset[tuple[int, int]]]:
+    """Order-insensitive comparison form for tests."""
+    return {c.edge_tuples() for c in communities}

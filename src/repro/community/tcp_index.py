@@ -1,0 +1,140 @@
+"""TCP-Index: the prior truss-community index (Huang et al., SIGMOD'14).
+
+The comparator the EquiTruss paper positions itself against (§5). For
+every vertex x, build G_x = the weighted graph on N(x) whose edge
+(y, z) exists when {x, y, z} is a triangle, weighted
+w(y, z) = min(τ(x,y), τ(x,z), τ(y,z)); keep only its *maximum spanning
+forest* (TCP = Triangle Connectivity Preserving). Communities are then
+recovered per query by traversing the per-vertex forests level-k
+restricted — the "costly truss reconstruction phase" the paper
+criticizes, since each community edge can be visited from both
+endpoints and forest reachability must be recomputed per query.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+import numpy as np
+
+from repro.community.model import Community, canonical_order
+from repro.cc.union_find import UnionFind
+from repro.errors import InvalidParameterError
+from repro.graph.csr import CSRGraph
+from repro.triangles.enumerate import enumerate_triangles
+from repro.truss.decompose import TrussDecomposition, truss_decomposition
+
+
+class TCPIndex:
+    """Per-vertex maximum-spanning-forest index over triangle trussness."""
+
+    def __init__(
+        self, graph: CSRGraph, decomp: TrussDecomposition | None = None
+    ) -> None:
+        self.graph = graph
+        if decomp is None:
+            decomp = truss_decomposition(graph)
+        self.trussness = decomp.trussness
+        #: per-vertex forest adjacency: x -> {y: [(z, w), ...]}
+        self._forest: list[dict[int, list[tuple[int, int]]]] = [
+            {} for _ in range(graph.num_vertices)
+        ]
+        self._build()
+
+    # ------------------------------------------------------------------
+    def _build(self) -> None:
+        g = self.graph
+        tau = self.trussness
+        tri = enumerate_triangles(g)
+        eu, ev = g.edges.u, g.edges.v
+        # per-triangle weight = min trussness of its three edges
+        w = np.minimum(
+            np.minimum(tau[tri.e_uv], tau[tri.e_uw]), tau[tri.e_vw]
+        )
+        # collect, per apex vertex x, the neighborhood edge (y, z): each
+        # triangle {u, v, w} contributes one entry per member vertex.
+        mat = tri.as_matrix()
+        per_vertex: dict[int, list[tuple[int, int, int]]] = {}
+        for t in range(tri.count):
+            verts = set()
+            for e in mat[t].tolist():
+                verts.add(int(eu[e]))
+                verts.add(int(ev[e]))
+            vs = sorted(verts)
+            wt = int(w[t])
+            for apex in vs:
+                rest = [x for x in vs if x != apex]
+                per_vertex.setdefault(apex, []).append((rest[0], rest[1], wt))
+        # maximum spanning forest per vertex: Kruskal on descending weight
+        for x, items in per_vertex.items():
+            items.sort(key=lambda r: -r[2])
+            locals_ = sorted({y for r in items for y in (r[0], r[1])})
+            pos = {y: i for i, y in enumerate(locals_)}
+            uf = UnionFind(len(locals_))
+            adj = self._forest[x]
+            for y, z, wt in items:
+                if uf.union(pos[y], pos[z]):
+                    adj.setdefault(y, []).append((z, wt))
+                    adj.setdefault(z, []).append((y, wt))
+
+    # ------------------------------------------------------------------
+    def _forest_reachable(self, x: int, y: int, k: int) -> list[int]:
+        """Vertices reachable from y inside x's forest via weight ≥ k."""
+        adj = self._forest[x]
+        if y not in adj:
+            return [y]
+        seen = {y}
+        queue = deque([y])
+        while queue:
+            cur = queue.popleft()
+            for nxt, wt in adj.get(cur, ()):
+                if wt >= k and nxt not in seen:
+                    seen.add(nxt)
+                    queue.append(nxt)
+        return list(seen)
+
+    # ------------------------------------------------------------------
+    def query(self, query_vertex: int, k: int) -> list[Community]:
+        """All k-truss communities of ``query_vertex``.
+
+        Implements the reconstruction traversal of Huang et al.: pop a
+        directed edge (x, y), expand every z reachable from y in TCP_x at
+        level k into community edges (x, z), and continue from the
+        reverse direction of each new edge.
+        """
+        if k < 3:
+            raise InvalidParameterError(f"k must be >= 3, got {k}")
+        g = self.graph
+        if not 0 <= query_vertex < g.num_vertices:
+            raise InvalidParameterError(f"vertex {query_vertex} out of range")
+        tau = self.trussness
+        visited_edges: set[int] = set()
+        communities: list[Community] = []
+        q = query_vertex
+        for eid in g.neighbor_edge_ids(q).tolist():
+            if tau[eid] < k or eid in visited_edges:
+                continue
+            comm_edges: set[int] = set()
+            u0, v0 = int(g.edges.u[eid]), int(g.edges.v[eid])
+            y0 = v0 if u0 == q else u0
+            stack = [(q, y0)]
+            processed: set[tuple[int, int]] = set()
+            while stack:
+                x, y = stack.pop()
+                if (x, y) in processed:
+                    continue
+                for z in self._forest_reachable(x, y, k):
+                    processed.add((x, z))
+                    e = g.edges.edge_id(x, z)
+                    if e not in comm_edges:
+                        comm_edges.add(e)
+                        visited_edges.add(e)
+                        stack.append((z, x))
+            communities.append(
+                Community(
+                    k=k,
+                    edge_ids=np.array(sorted(comm_edges), dtype=np.int64),
+                    graph=g,
+                )
+            )
+        return canonical_order(communities)

@@ -1,0 +1,26 @@
+"""K-core decomposition and k-core-based local community search.
+
+The paper motivates k-truss by contrast with k-core (§1, §5): k-core is
+polynomially solvable but "lacks cohesion" [11] and "cannot detect
+overlapping membership communities" [5, 49]. This package implements
+that comparator so the claim can be demonstrated quantitatively: core
+decomposition (vectorized peeling + serial reference) and a k-core
+community search returning the connected component of the query vertex
+inside the maximal k-core.
+"""
+
+from repro.core_decomp.kcore import (
+    CoreDecomposition,
+    core_decomposition,
+    core_decomposition_serial,
+    k_core_vertex_mask,
+)
+from repro.core_decomp.search import kcore_community
+
+__all__ = [
+    "CoreDecomposition",
+    "core_decomposition",
+    "core_decomposition_serial",
+    "k_core_vertex_mask",
+    "kcore_community",
+]

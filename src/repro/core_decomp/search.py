@@ -1,0 +1,61 @@
+"""K-core-based local community search (the weaker comparator).
+
+Returns the connected component of the query vertex inside the maximal
+k-core — the community model of [5, 34, 42] the paper contrasts with.
+Two structural weaknesses the paper cites, both observable with this
+implementation (see ``benchmarks/bench_ablation_kcore_vs_ktruss.py``):
+
+* one community per (vertex, k) — no overlapping membership;
+* weak cohesion — a k-core can chain loosely-attached vertices that a
+  k-truss (triangle-support-based) community excludes.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+import numpy as np
+
+from repro.community.model import Community
+from repro.core_decomp.kcore import CoreDecomposition, core_decomposition
+from repro.errors import InvalidParameterError
+from repro.graph.csr import CSRGraph
+
+
+def kcore_community(
+    graph: CSRGraph,
+    query_vertex: int,
+    k: int,
+    decomp: CoreDecomposition | None = None,
+) -> Community | None:
+    """The k-core community of ``query_vertex``, or ``None``.
+
+    Returned as a :class:`Community` over the edges of the component
+    (both endpoints with coreness ≥ k) so it compares directly with
+    k-truss communities under the shared quality metrics.
+    """
+    if k < 1:
+        raise InvalidParameterError(f"k must be >= 1, got {k}")
+    if not 0 <= query_vertex < graph.num_vertices:
+        raise InvalidParameterError(f"vertex {query_vertex} out of range")
+    if decomp is None:
+        decomp = core_decomposition(graph)
+    member = decomp.coreness >= k
+    if not member[query_vertex]:
+        return None
+    # BFS inside the k-core from the query vertex
+    seen = np.zeros(graph.num_vertices, dtype=bool)
+    seen[query_vertex] = True
+    queue: deque[int] = deque([query_vertex])
+    while queue:
+        v = queue.popleft()
+        for w in graph.neighbors(v).tolist():
+            if member[w] and not seen[w]:
+                seen[w] = True
+                queue.append(w)
+    u, v = graph.edges.u, graph.edges.v
+    edge_mask = seen[u] & seen[v]
+    edge_ids = np.flatnonzero(edge_mask)
+    if edge_ids.size == 0:
+        return None
+    return Community(k=k, edge_ids=edge_ids, graph=graph)

@@ -1,0 +1,39 @@
+"""Distributed-memory substrate (SPMD message-passing emulation).
+
+The paper situates itself against distributed k-truss work [10, 16, 31]
+and Pregel-style connectivity [50], and lists distributed execution as
+the natural scale-out path. There is no MPI in this environment, so
+this package provides an in-process SPMD harness with mpi4py-shaped
+collectives (:class:`SimComm`: send/recv, barrier, bcast, allgather,
+alltoallv, allreduce) that *counts every message and byte*, plus
+shared-nothing algorithms built on it:
+
+* :func:`distributed_components` — Pregel-style label-propagation CC
+  over block-owned vertices with proposal exchange,
+* :func:`distributed_triangle_count` — adjacency-shipping triangle
+  counting over a 1-D edge partition,
+* :func:`distributed_support` — per-edge support from the same
+  exchange, the distributed analog of the pipeline's Support kernel.
+
+Communication-volume scaling is benchmarked in
+``benchmarks/bench_distributed_scaling.py``.
+"""
+
+from repro.distributed.comm import CommStats, SimComm, run_spmd
+from repro.distributed.partition import EdgePartition, VertexOwnership, partition_edges
+from repro.distributed.cc import distributed_components
+from repro.distributed.triangles import distributed_support, distributed_triangle_count
+from repro.distributed.truss import distributed_truss_decomposition
+
+__all__ = [
+    "CommStats",
+    "EdgePartition",
+    "SimComm",
+    "VertexOwnership",
+    "distributed_components",
+    "distributed_support",
+    "distributed_triangle_count",
+    "distributed_truss_decomposition",
+    "partition_edges",
+    "run_spmd",
+]

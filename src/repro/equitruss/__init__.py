@@ -1,0 +1,39 @@
+"""EquiTruss index construction — the paper's core contribution.
+
+Four implementations, all producing byte-identical canonical indexes
+(the paper reports 100% output agreement across its variants; our tests
+assert it):
+
+* :func:`equitruss_serial` — Algorithm 1, the BFS-queue serial original
+  (plays the role of the Akbas et al. reference implementation).
+* :func:`build_index` with ``variant="baseline"`` — Algorithms 2–4 with
+  Shiloach–Vishkin edge-CC and per-round triangle re-derivation
+  (*Baseline EquiTruss*).
+* ``variant="coptimal"`` — contiguous-buffer lookups, per-level hook
+  pairs built once, settled-pair skipping (*C-Optimal EquiTruss*).
+* ``variant="afforest"`` — Afforest edge-CC with neighbor sampling and
+  giant-component skipping (*Afforest EquiTruss*).
+"""
+
+from repro.equitruss.index import EquiTrussIndex
+from repro.equitruss.kernels import KERNELS, KernelBreakdown
+from repro.equitruss.levels import LevelStructures, build_level_structures
+from repro.equitruss.serial import equitruss_serial
+from repro.equitruss.pipeline import VARIANTS, BuildResult, build_index
+from repro.equitruss.dynamic import DynamicEquiTruss, UpdateStats
+from repro.equitruss.verify import verify_index_semantics
+
+__all__ = [
+    "BuildResult",
+    "DynamicEquiTruss",
+    "EquiTrussIndex",
+    "KERNELS",
+    "KernelBreakdown",
+    "LevelStructures",
+    "UpdateStats",
+    "VARIANTS",
+    "build_index",
+    "build_level_structures",
+    "equitruss_serial",
+    "verify_index_semantics",
+]

@@ -1,0 +1,184 @@
+"""Per-trussness-level structures derived from triangles + trussness.
+
+The edge-induced graph of the paper's key observation is materialized
+here. For a triangle with edge trussness values (τa, τb, τc) and
+minimum κ = min(τa, τb, τc):
+
+* every pair of member edges whose trussness both equal κ is a *hook
+  pair* at level κ — the two edges are κ-triangle-connected inside the
+  maximal κ-truss (the third edge has τ ≥ κ by construction), so the
+  supernode CC must union them (Definition 8);
+* every member edge with τ > κ contributes a *superedge candidate*
+  (low = a κ edge of the triangle, high = the τ > κ edge), matching
+  Algorithm 3's "create superedge downward" rule (Definition 9).
+
+Pairs whose trussness values are equal but above the triangle minimum do
+**not** hook: the triangle is absent from their maximal k-truss, exactly
+the τ(u,w) ≥ k ∧ τ(v,w) ≥ k guard of Algorithm 1 line 21.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import InvalidParameterError
+from repro.triangles.enumerate import TriangleSet
+
+
+@dataclass(frozen=True)
+class LevelStructures:
+    """Hook pairs and superedge candidates grouped by trussness level.
+
+    ``hook_a/hook_b/hook_k`` are parallel arrays sorted by ``hook_k``
+    (the triangle minimum κ). ``se_lo/se_hi/se_k`` hold superedge
+    candidates: ``lo`` is an edge at the triangle minimum, ``hi`` the
+    edge with larger trussness, and ``se_k = τ(hi)`` — the level at
+    which Algorithm 3 emits the superedge (iterating e ∈ Φ_k and linking
+    *downward*), by which time both endpoints' components are settled.
+    ``levels`` holds the ascending distinct populated trussness values.
+    """
+
+    hook_a: np.ndarray
+    hook_b: np.ndarray
+    hook_k: np.ndarray
+    se_lo: np.ndarray
+    se_hi: np.ndarray
+    se_k: np.ndarray
+    levels: np.ndarray
+    #: optional edge-graph CSR (indptr over all edge ids, neighbor edge
+    #: ids) — since hook pairs join only equal-trussness edges, this is
+    #: the disjoint union of every level's edge graph. Built when the
+    #: Afforest variant asks for it.
+    adj_indptr: np.ndarray | None = None
+    adj_neighbors: np.ndarray | None = None
+
+    def adjacency_arrays(self) -> tuple[np.ndarray, np.ndarray]:
+        if self.adj_indptr is None or self.adj_neighbors is None:
+            raise InvalidParameterError(
+                "level structures were built without adjacency "
+                "(pass with_adjacency=True)"
+            )
+        return self.adj_indptr, self.adj_neighbors
+
+    def hook_pairs(self, k: int) -> tuple[np.ndarray, np.ndarray]:
+        lo, hi = _bounds(self.hook_k, k)
+        return self.hook_a[lo:hi], self.hook_b[lo:hi]
+
+    def superedge_candidates(self, k: int) -> tuple[np.ndarray, np.ndarray]:
+        lo, hi = _bounds(self.se_k, k)
+        return self.se_lo[lo:hi], self.se_hi[lo:hi]
+
+    @property
+    def num_hook_pairs(self) -> int:
+        return self.hook_a.size
+
+    @property
+    def num_superedge_candidates(self) -> int:
+        return self.se_lo.size
+
+
+def _bounds(sorted_k: np.ndarray, k: int) -> tuple[int, int]:
+    lo = int(np.searchsorted(sorted_k, k, side="left"))
+    hi = int(np.searchsorted(sorted_k, k, side="right"))
+    return lo, hi
+
+
+def triangle_tables(
+    triangles: TriangleSet, trussness: np.ndarray
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Raw (unsorted) hook pairs, superedge candidates, and triangle minima.
+
+    Returns ``(hooks, ses, kmin)`` where ``hooks`` is ``int64[H, 3]``
+    columns (a, b, κ), ``ses`` is ``int64[S, 3]`` columns
+    (lo, hi, τ(hi)), and ``kmin`` the per-triangle minimum trussness.
+    Exposed separately so the Baseline variant can re-derive pairs per
+    round, as Algorithm 2 re-computes common neighbors inside its
+    hooking loop.
+    """
+    if trussness.shape[0] != triangles.num_edges:
+        raise InvalidParameterError("trussness length must equal num_edges")
+    sides = (triangles.e_uv, triangles.e_uw, triangles.e_vw)
+    taus = tuple(trussness[s] for s in sides)
+    kmin = np.minimum(np.minimum(taus[0], taus[1]), taus[2])
+
+    hook_parts = []
+    for i, j in ((0, 1), (0, 2), (1, 2)):
+        mask = (taus[i] == kmin) & (taus[j] == kmin)
+        if mask.any():
+            hook_parts.append(
+                np.stack([sides[i][mask], sides[j][mask], kmin[mask]], axis=1)
+            )
+    hooks = (
+        np.concatenate(hook_parts)
+        if hook_parts
+        else np.empty((0, 3), dtype=np.int64)
+    )
+
+    se_parts = []
+    for hi_ix in range(3):
+        above = taus[hi_ix] > kmin
+        if not above.any():
+            continue
+        # pick a representative κ-edge of the triangle as the low endpoint;
+        # when two sides sit at κ both are emitted (they land in the same
+        # supernode, so the superedge dedups — same as Algorithm 3).
+        for lo_ix in range(3):
+            if lo_ix == hi_ix:
+                continue
+            mask = above & (taus[lo_ix] == kmin)
+            if mask.any():
+                se_parts.append(
+                    np.stack(
+                        [sides[lo_ix][mask], sides[hi_ix][mask], taus[hi_ix][mask]],
+                        axis=1,
+                    )
+                )
+    ses = (
+        np.concatenate(se_parts) if se_parts else np.empty((0, 3), dtype=np.int64)
+    )
+    return hooks, ses, kmin
+
+
+def build_level_structures(
+    triangles: TriangleSet,
+    trussness: np.ndarray,
+    with_adjacency: bool = False,
+) -> LevelStructures:
+    """Sort and group the raw tables by level (the C-Optimal layout).
+
+    ``with_adjacency=True`` additionally materializes the edge-graph CSR
+    for Afforest's neighbor sampling.
+    """
+    hooks, ses, _ = triangle_tables(triangles, trussness)
+    h_order = np.argsort(hooks[:, 2], kind="stable")
+    hooks = hooks[h_order]
+    s_order = np.argsort(ses[:, 2], kind="stable")
+    ses = ses[s_order]
+    levels = np.unique(
+        np.concatenate([hooks[:, 2], ses[:, 2], _populated_levels(trussness)])
+    )
+    adj_indptr = adj_neighbors = None
+    if with_adjacency:
+        from repro.cc.core import pairs_to_csr
+
+        adj_indptr, adj_neighbors = pairs_to_csr(
+            triangles.num_edges, hooks[:, 0], hooks[:, 1]
+        )
+    return LevelStructures(
+        hook_a=np.ascontiguousarray(hooks[:, 0]),
+        hook_b=np.ascontiguousarray(hooks[:, 1]),
+        hook_k=np.ascontiguousarray(hooks[:, 2]),
+        se_lo=np.ascontiguousarray(ses[:, 0]),
+        se_hi=np.ascontiguousarray(ses[:, 1]),
+        se_k=np.ascontiguousarray(ses[:, 2]),
+        levels=levels,
+        adj_indptr=adj_indptr,
+        adj_neighbors=adj_neighbors,
+    )
+
+
+def _populated_levels(trussness: np.ndarray) -> np.ndarray:
+    ks = np.unique(trussness)
+    return ks[ks >= 3]

@@ -1,0 +1,96 @@
+"""SpEdge and SmGraph kernels: superedge generation and merge.
+
+``generate_superedges`` is Algorithm 3: for the level being processed,
+each (lo, hi) candidate resolves to the component-root pair
+(Π(lo), Π(hi)) and is appended to a worker-local subset (workers own
+disjoint chunks, so no synchronization is needed — the paper's
+``sp_edges[tid]`` vectors).
+
+``merge_supergraph`` is Algorithm 4: every worker hashes its local
+superedges to a destination partition, each partition is sorted and
+deduplicated independently, and the partitions concatenate into the
+final superedge list.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.parallel.partition import block_ranges
+from repro.utils.validation import check_positive
+
+
+def generate_superedges(
+    comp: np.ndarray,
+    se_lo: np.ndarray,
+    se_hi: np.ndarray,
+    num_workers: int = 1,
+    worker_subsets: list[list[np.ndarray]] | None = None,
+    handle=None,
+) -> list[list[np.ndarray]]:
+    """Resolve candidates to root pairs, appended per worker (Algorithm 3).
+
+    Each worker owns a contiguous chunk of the candidates and inserts
+    into its local ``set`` — duplicates within a worker's chunk collapse
+    at insertion time, exactly like the paper's
+    ``vector<set<compID1, compID2>>``. Returns ``worker_subsets`` — one
+    list of (n_i, 2) deduplicated arrays per worker — creating it on
+    first call so per-level invocations accumulate.
+    """
+    check_positive("num_workers", num_workers)
+    if worker_subsets is None:
+        worker_subsets = [[] for _ in range(num_workers)]
+    if handle is not None:
+        handle.add_round(max(int(se_lo.size), 1))
+    if se_lo.size == 0:
+        return worker_subsets
+    a = comp[se_lo]
+    b = comp[se_hi]
+    lo_id = np.minimum(a, b)
+    hi_id = np.maximum(a, b)
+    span = int(hi_id.max()) + 1
+    keys = lo_id * np.int64(span) + hi_id
+    for tid, (lo, hi) in enumerate(block_ranges(keys.size, num_workers)):
+        if hi > lo:
+            local = np.unique(keys[lo:hi])  # the thread-local set
+            worker_subsets[tid].append(
+                np.stack([local // span, local % span], axis=1)
+            )
+    return worker_subsets
+
+
+def merge_supergraph(
+    worker_subsets: list[list[np.ndarray]],
+    num_workers: int | None = None,
+    handle=None,
+) -> np.ndarray:
+    """Hash-partitioned duplicate-free merge (Algorithm 4).
+
+    Returns the final ``int64[SE, 2]`` root-pair array, sorted by the
+    canonical (min, max) key.
+    """
+    num_workers = num_workers or max(len(worker_subsets), 1)
+    locals_: list[np.ndarray] = []
+    for subset in worker_subsets:
+        if subset:
+            locals_.append(np.concatenate(subset))
+    if not locals_:
+        return np.empty((0, 2), dtype=np.int64)
+    all_pairs = np.concatenate(locals_)
+    lo = np.minimum(all_pairs[:, 0], all_pairs[:, 1]).astype(np.int64)
+    hi = np.maximum(all_pairs[:, 0], all_pairs[:, 1]).astype(np.int64)
+    span = int(hi.max()) + 1 if hi.size else 1
+    keys = lo * np.int64(span) + hi
+    if handle is not None:
+        handle.add_round(int(keys.size))
+    # hash-partition by destination worker; each partition dedups locally
+    dest = keys % num_workers
+    merged_parts: list[np.ndarray] = []
+    for t in range(num_workers):
+        part = keys[dest == t]
+        if part.size:
+            merged_parts.append(np.unique(part))
+    if not merged_parts:
+        return np.empty((0, 2), dtype=np.int64)
+    final_keys = np.sort(np.concatenate(merged_parts))
+    return np.stack([final_keys // span, final_keys % span], axis=1)

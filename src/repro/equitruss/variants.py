@@ -1,0 +1,234 @@
+"""The three SpNode kernels: Baseline, C-Optimal, Afforest.
+
+All three compute the same fixpoint — the per-level connected components
+of the edge-induced graph — but with the different work profiles the
+paper describes in §3.3:
+
+* **Baseline** recomputes, for every edge of Φ_k, its triangles from the
+  raw CSR adjacency when the level is processed (Algorithm 2 lines
+  10–14), resolving partner edge ids through keyed searches — the
+  "dictionary over the whole edge set" probing the paper optimizes
+  away — and runs SV hooking that rescans the complete pair list each
+  round (no settled-pair skip).
+* **C-Optimal** consumes the per-level hook tables built once during
+  Init (CSR/contiguous-buffer storage), and *skips settled pairs*: a
+  pair whose endpoints already share a component is dropped from
+  subsequent rounds, so per-round work shrinks monotonically.
+* **Afforest** traverses the edge-graph adjacency (also materialized in
+  Init): per level it opportunistically links the first few sampled
+  neighbors of every node (work ∝ nodes, not pairs), detects the
+  dominant component, and finishes only the nodes outside it — the
+  subgraph-sampling skip of [43].
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.cc.afforest import afforest_on_csr
+from repro.cc.core import compress
+from repro.equitruss.levels import LevelStructures
+from repro.graph.csr import CSRGraph
+
+
+# ----------------------------------------------------------------------
+# Baseline
+# ----------------------------------------------------------------------
+
+def recompute_level_tables(
+    graph: CSRGraph,
+    trussness: np.ndarray,
+    k: int,
+    batch_edges: int = 1 << 16,
+    handle=None,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    """Algorithm 2/3 per-level triangle recomputation.
+
+    For every edge e(u, v) ∈ Φ_k, enumerate its triangles from the CSR
+    adjacency (expanding the smaller endpoint's neighbor list, resolving
+    the partner edges via keyed searches) and derive:
+
+    * hook pairs ``(e, e')`` where τ(e') = k and the third side has
+      τ ≥ k (k-triangle connectivity inside the maximal k-truss);
+    * superedge candidates ``(lo, hi=e)`` where lo is a partner at the
+      triangle minimum κ < k (Algorithm 3's downward rule).
+
+    Returns ``(hook_a, hook_b, se_lo, se_hi)``. Duplicated hook pairs
+    (a triangle seen from both its k-edges) are kept — SV is insensitive
+    and the paper's per-edge loop produces them too.
+    """
+    phi = np.flatnonzero(trussness == k)
+    hook_parts_a: list[np.ndarray] = []
+    hook_parts_b: list[np.ndarray] = []
+    se_parts_lo: list[np.ndarray] = []
+    se_parts_hi: list[np.ndarray] = []
+    deg = graph.degrees()
+    indptr, indices, slot_eids = graph.indptr, graph.indices, graph.edge_ids
+    eu, ev = graph.edges.u, graph.edges.v
+
+    for lo_ix in range(0, phi.size, batch_edges):
+        eids = phi[lo_ix : lo_ix + batch_edges]
+        u, v = eu[eids], ev[eids]
+        swap = deg[u] > deg[v]
+        x = np.where(swap, v, u)       # expand the smaller endpoint
+        y = np.where(swap, u, v)
+        counts = deg[x]
+        total = int(counts.sum())
+        if handle is not None:
+            handle.add_round(max(total, 1))
+        if total == 0:
+            continue
+        cum = np.concatenate([np.zeros(1, np.int64), np.cumsum(counts)])
+        local = np.arange(total, dtype=np.int64) - np.repeat(cum[:-1], counts)
+        w_pos = np.repeat(indptr[x], counts) + local
+        w = indices[w_pos]
+        y_rep = np.repeat(y, counts)
+        slots = graph.locate_slots(y_rep, w)   # the "dictionary" probe
+        found = slots >= 0
+        if not found.any():
+            continue
+        e_rep = np.repeat(eids, counts)[found]
+        e1 = slot_eids[w_pos[found]]           # (x, w)
+        e2 = slot_eids[slots[found]]           # (y, w)
+        # drop the degenerate "triangle" where w is the other endpoint
+        real = (e1 != e_rep) & (e2 != e_rep)
+        e_rep, e1, e2 = e_rep[real], e1[real], e2[real]
+        t1, t2 = trussness[e1], trussness[e2]
+        both_ok = (t1 >= k) & (t2 >= k)
+        h1 = both_ok & (t1 == k)
+        h2 = both_ok & (t2 == k)
+        hook_parts_a.extend((e_rep[h1], e_rep[h2]))
+        hook_parts_b.extend((e1[h1], e2[h2]))
+        lowest = np.minimum(np.minimum(t1, t2), k)
+        below = lowest < k
+        s1 = below & (t1 == lowest)
+        s2 = below & (t2 == lowest)
+        se_parts_lo.extend((e1[s1], e2[s2]))
+        se_parts_hi.extend((e_rep[s1], e_rep[s2]))
+
+    def cat(parts: list[np.ndarray]) -> np.ndarray:
+        return np.concatenate(parts) if parts else np.empty(0, dtype=np.int64)
+
+    return cat(hook_parts_a), cat(hook_parts_b), cat(se_parts_lo), cat(se_parts_hi)
+
+
+def sv_rounds_noskip(
+    comp: np.ndarray, a: np.ndarray, b: np.ndarray, handle=None
+) -> int:
+    """SV hooking/shortcut rounds that rescan the *complete* pair list
+    every round (no settled-pair skip — the Baseline behavior)."""
+    if a.size == 0:
+        return 0
+    touched = np.unique(np.concatenate([a, b]))
+    rounds = 0
+    while True:
+        rounds += 1
+        if handle is not None:
+            handle.add_round(2 * a.size)
+        ca, cb = comp[a], comp[b]
+        hook_b = (ca < cb) & (comp[cb] == cb)
+        hook_a = (cb < ca) & (comp[ca] == ca)
+        changed = bool(hook_b.any() or hook_a.any())
+        if hook_b.any():
+            np.minimum.at(comp, cb[hook_b], ca[hook_b])
+        if hook_a.any():
+            np.minimum.at(comp, ca[hook_a], cb[hook_a])
+        compress(comp, touched)
+        if not changed:
+            return rounds
+
+
+def spnode_baseline(
+    comp: np.ndarray,
+    graph: CSRGraph,
+    trussness: np.ndarray,
+    k: int,
+    handle=None,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Baseline SpNode for level ``k``: recompute triangles, then
+    unskipped SV. Returns the level's superedge candidates (recomputed
+    here, consumed by the SpEdge kernel)."""
+    hook_a, hook_b, se_lo, se_hi = recompute_level_tables(
+        graph, trussness, k, handle=handle
+    )
+    sv_rounds_noskip(comp, hook_a, hook_b, handle=handle)
+    return se_lo, se_hi
+
+
+# ----------------------------------------------------------------------
+# C-Optimal
+# ----------------------------------------------------------------------
+
+def spnode_coptimal(
+    comp: np.ndarray,
+    levels: LevelStructures,
+    k: int,
+    handle=None,
+) -> int:
+    """C-Optimal SV over level ``k``: prebuilt pairs + settled-pair skip.
+
+    Like the paper's adaptation, every hooking round still scans the full
+    pair list (SV has no per-pair memory between rounds); the §3.3
+    optimization is the early-out — pairs whose endpoints already share a
+    component do no further work within the round. Baseline's additional
+    cost relative to this kernel is the per-level triangle recomputation.
+    """
+    a, b = levels.hook_pairs(k)
+    if a.size == 0:
+        return 0
+    touched = np.unique(np.concatenate([a, b]))
+    rounds = 0
+    while True:
+        rounds += 1
+        if handle is not None:
+            handle.add_round(2 * a.size)
+        ca, cb = comp[a], comp[b]
+        unsettled = ca != cb  # the Π(e) == Π(e1) early-out of §3.3
+        if not unsettled.any():
+            compress(comp, touched)
+            return rounds
+        ua, ub = ca[unsettled], cb[unsettled]
+        hook_b = (ua < ub) & (comp[ub] == ub)
+        hook_a = (ub < ua) & (comp[ua] == ua)
+        changed = bool(hook_b.any() or hook_a.any())
+        if hook_b.any():
+            np.minimum.at(comp, ub[hook_b], ua[hook_b])
+        if hook_a.any():
+            np.minimum.at(comp, ua[hook_a], ub[hook_a])
+        compress(comp, touched)
+        if not changed:
+            return rounds
+
+
+# ----------------------------------------------------------------------
+# Afforest
+# ----------------------------------------------------------------------
+
+def spnode_afforest(
+    comp: np.ndarray,
+    levels: LevelStructures,
+    k: int,
+    phi_nodes: np.ndarray,
+    neighbor_rounds: int = 2,
+    seed: int = 0,
+    handle=None,
+) -> int:
+    """Afforest over level ``k`` using the Init-built edge-graph CSR.
+
+    ``phi_nodes`` are the edge ids of Φ_k (the level's nodes). Because
+    hook pairs only ever join equal-trussness edges, the global
+    adjacency restricted to these nodes is exactly the level's edge
+    graph.
+    """
+    if phi_nodes.size == 0:
+        return 0
+    indptr, neighbors = levels.adjacency_arrays()
+    return afforest_on_csr(
+        comp,
+        indptr,
+        neighbors,
+        phi_nodes,
+        neighbor_rounds=neighbor_rounds,
+        seed=seed,
+        handle=handle,
+    )

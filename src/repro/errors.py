@@ -1,0 +1,36 @@
+"""Exception hierarchy for :mod:`repro`.
+
+Every error raised by the library derives from :class:`ReproError` so
+callers can catch library failures with a single ``except`` clause while
+letting programming errors (``TypeError`` etc.) propagate.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class GraphFormatError(ReproError):
+    """An input edge list or graph file violates the expected format."""
+
+
+class GraphConstructionError(ReproError):
+    """A graph could not be built from the provided data."""
+
+
+class EdgeNotFoundError(ReproError, KeyError):
+    """An (u, v) pair does not correspond to an edge of the graph."""
+
+
+class InvalidParameterError(ReproError, ValueError):
+    """A parameter is outside its documented domain."""
+
+
+class IndexIntegrityError(ReproError):
+    """An EquiTruss index failed internal validation."""
+
+
+class BackendError(ReproError):
+    """A parallel execution backend failed or was misconfigured."""

@@ -1,0 +1,24 @@
+"""Graph substrate: canonical edge lists, CSR storage, IO, generators.
+
+The EquiTruss formulation treats *edges* as first-class entities (the
+supernode CC runs on the edge-induced graph), so the central type here is
+:class:`EdgeList` — a canonical, deduplicated, sorted undirected edge list
+with dense edge ids — with :class:`CSRGraph` layering GAP-style CSR
+adjacency (plus per-slot edge ids) on top of it.
+"""
+
+from repro.graph.edgelist import EdgeList
+from repro.graph.csr import CSRGraph
+from repro.graph.builder import build_edgelist, build_graph
+from repro.graph import generators, datasets, io, properties
+
+__all__ = [
+    "EdgeList",
+    "CSRGraph",
+    "build_edgelist",
+    "build_graph",
+    "generators",
+    "datasets",
+    "io",
+    "properties",
+]

@@ -1,0 +1,167 @@
+"""GAP-style compressed-sparse-row adjacency with per-slot edge ids.
+
+:class:`CSRGraph` stores the symmetric adjacency of an undirected graph in
+CSR form with neighbor lists sorted ascending. Each adjacency slot also
+carries the *dense edge id* of the canonical undirected edge it belongs
+to, which is the paper's "C-Optimal" storage optimization: looking up
+τ(u, w) for a neighbor w of u becomes a contiguous-buffer gather instead
+of a hash-map probe (§3.3 of the paper).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import GraphConstructionError
+from repro.graph.edgelist import EdgeList
+
+
+class CSRGraph:
+    """Immutable undirected graph in CSR form.
+
+    Attributes
+    ----------
+    indptr:
+        ``int64[n + 1]`` row offsets.
+    indices:
+        ``int64[2m]`` neighbor ids, sorted ascending within each row.
+    edge_ids:
+        ``int64[2m]`` canonical edge id for each adjacency slot, aligned
+        with ``indices``.
+    edges:
+        The canonical :class:`EdgeList` this CSR was built from.
+    """
+
+    __slots__ = ("indptr", "indices", "edge_ids", "edges", "_slot_keys")
+
+    def __init__(
+        self,
+        indptr: np.ndarray,
+        indices: np.ndarray,
+        edge_ids: np.ndarray,
+        edges: EdgeList,
+    ) -> None:
+        self.indptr = np.ascontiguousarray(indptr, dtype=np.int64)
+        self.indices = np.ascontiguousarray(indices, dtype=np.int64)
+        self.edge_ids = np.ascontiguousarray(edge_ids, dtype=np.int64)
+        self.edges = edges
+        if self.indptr.size != edges.num_vertices + 1:
+            raise GraphConstructionError("indptr length must be num_vertices + 1")
+        if self.indices.size != 2 * edges.num_edges:
+            raise GraphConstructionError("indices length must be 2 * num_edges")
+        if self.edge_ids.size != self.indices.size:
+            raise GraphConstructionError("edge_ids must align with indices")
+        self._slot_keys: np.ndarray | None = None
+        for arr in (self.indptr, self.indices, self.edge_ids):
+            arr.setflags(write=False)
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_edgelist(cls, edges: EdgeList) -> "CSRGraph":
+        """Build symmetric CSR adjacency from a canonical edge list."""
+        n, m = edges.num_vertices, edges.num_edges
+        src = np.concatenate([edges.u, edges.v])
+        dst = np.concatenate([edges.v, edges.u])
+        eid = np.concatenate([np.arange(m, dtype=np.int64)] * 2)
+        order = np.argsort(src * np.int64(max(n, 1)) + dst, kind="stable")
+        src, dst, eid = src[order], dst[order], eid[order]
+        counts = np.bincount(src, minlength=n)
+        indptr = np.zeros(n + 1, dtype=np.int64)
+        np.cumsum(counts, out=indptr[1:])
+        return cls(indptr, dst, eid, edges)
+
+    # ------------------------------------------------------------------
+    # Basic accessors
+    # ------------------------------------------------------------------
+    @property
+    def num_vertices(self) -> int:
+        return self.edges.num_vertices
+
+    @property
+    def num_edges(self) -> int:
+        return self.edges.num_edges
+
+    def degrees(self) -> np.ndarray:
+        """Undirected degree per vertex."""
+        return np.diff(self.indptr)
+
+    def degree(self, u: int) -> int:
+        return int(self.indptr[u + 1] - self.indptr[u])
+
+    def neighbors(self, u: int) -> np.ndarray:
+        """Sorted neighbor ids of ``u`` (a zero-copy view)."""
+        return self.indices[self.indptr[u] : self.indptr[u + 1]]
+
+    def neighbor_edge_ids(self, u: int) -> np.ndarray:
+        """Edge ids aligned with :meth:`neighbors`."""
+        return self.edge_ids[self.indptr[u] : self.indptr[u + 1]]
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"CSRGraph(n={self.num_vertices}, m={self.num_edges})"
+
+    # ------------------------------------------------------------------
+    # Batched membership (keyed searchsorted)
+    # ------------------------------------------------------------------
+    @property
+    def slot_keys(self) -> np.ndarray:
+        """Globally sorted ``row * n + col`` key per adjacency slot.
+
+        Because rows appear in order and each row's columns are sorted,
+        this flattened key array is strictly increasing, enabling batched
+        adjacency membership tests with one ``searchsorted``.
+        """
+        if self._slot_keys is None:
+            n = max(self.num_vertices, 1)
+            rows = np.repeat(
+                np.arange(self.num_vertices, dtype=np.int64), np.diff(self.indptr)
+            )
+            keys = rows * np.int64(n) + self.indices
+            keys.setflags(write=False)
+            self._slot_keys = keys
+        return self._slot_keys
+
+    def locate_slots(self, us: np.ndarray, ws: np.ndarray) -> np.ndarray:
+        """For each (u, w) pair return the adjacency-slot index, or -1.
+
+        The slot index can be used to read :attr:`edge_ids` directly —
+        this is the fast directed (u → w) lookup used by the triangle
+        kernels.
+        """
+        us = np.asarray(us, dtype=np.int64)
+        ws = np.asarray(ws, dtype=np.int64)
+        keys = self.slot_keys
+        q = us * np.int64(max(self.num_vertices, 1)) + ws
+        pos = np.searchsorted(keys, q)
+        pos_c = np.minimum(pos, max(keys.size - 1, 0))
+        if keys.size == 0:
+            return np.full(q.shape, -1, dtype=np.int64)
+        found = keys[pos_c] == q
+        return np.where(found, pos_c, -1)
+
+    def has_edges(self, us: np.ndarray, ws: np.ndarray) -> np.ndarray:
+        """Vectorized adjacency test for (u, w) pairs."""
+        return self.locate_slots(us, ws) >= 0
+
+    # ------------------------------------------------------------------
+    # Conversions
+    # ------------------------------------------------------------------
+    def to_scipy(self):
+        """Symmetric adjacency as ``scipy.sparse.csr_array`` of int8 ones."""
+        import scipy.sparse as sp
+
+        data = np.ones(self.indices.size, dtype=np.int8)
+        return sp.csr_array(
+            (data, self.indices.copy(), self.indptr.copy()),
+            shape=(self.num_vertices, self.num_vertices),
+        )
+
+    def to_networkx(self):
+        """Convert to a :class:`networkx.Graph` (tests / small graphs)."""
+        import networkx as nx
+
+        g = nx.Graph()
+        g.add_nodes_from(range(self.num_vertices))
+        g.add_edges_from(zip(self.edges.u.tolist(), self.edges.v.tolist()))
+        return g

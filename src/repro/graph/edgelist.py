@@ -1,0 +1,168 @@
+"""Canonical undirected edge lists with dense edge identifiers.
+
+An :class:`EdgeList` stores each undirected edge exactly once as an
+ordered pair ``(u, v)`` with ``u < v``, sorted lexicographically. The
+position of a pair in this ordering is the edge's *dense id* — the
+identifier used everywhere else in the library (trussness arrays, parent
+component arrays, triangle triples all index by edge id).
+
+Fast id lookup uses the *keyed searchsorted* trick: because pairs are
+sorted lexicographically, the scalar key ``u * num_vertices + v`` is
+strictly increasing, so a batch of (u, v) queries resolves to ids with a
+single :func:`numpy.searchsorted` call.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import EdgeNotFoundError, GraphConstructionError
+from repro.utils.validation import check_array_1d
+
+
+class EdgeList:
+    """Immutable canonical undirected edge list.
+
+    Parameters
+    ----------
+    u, v:
+        Endpoint arrays satisfying ``u[i] < v[i]``, jointly sorted by
+        ``(u, v)``, with no duplicates. Use
+        :func:`repro.graph.builder.build_edgelist` to canonicalize raw
+        input; this constructor validates but does not repair.
+    num_vertices:
+        Number of vertices; must exceed ``max(v)``.
+    """
+
+    __slots__ = ("u", "v", "num_vertices", "_keys")
+
+    def __init__(self, u: np.ndarray, v: np.ndarray, num_vertices: int) -> None:
+        u = check_array_1d("u", np.ascontiguousarray(u, dtype=np.int64), "iu")
+        v = check_array_1d("v", np.ascontiguousarray(v, dtype=np.int64), "iu")
+        if u.shape != v.shape:
+            raise GraphConstructionError(
+                f"endpoint arrays differ in length: {u.shape} vs {v.shape}"
+            )
+        if u.size:
+            if int(u.min()) < 0:
+                raise GraphConstructionError("negative vertex id in edge list")
+            if int(v.max()) >= num_vertices:
+                raise GraphConstructionError(
+                    f"vertex id {int(v.max())} >= num_vertices={num_vertices}"
+                )
+            if not np.all(u < v):
+                raise GraphConstructionError("edges must be canonical (u < v)")
+        keys = u * np.int64(num_vertices) + v
+        if u.size and not np.all(np.diff(keys) > 0):
+            raise GraphConstructionError(
+                "edges must be sorted by (u, v) and free of duplicates"
+            )
+        self.u = u
+        self.v = v
+        self.num_vertices = int(num_vertices)
+        self._keys = keys
+        self.u.setflags(write=False)
+        self.v.setflags(write=False)
+        self._keys.setflags(write=False)
+
+    # ------------------------------------------------------------------
+    # Basic protocol
+    # ------------------------------------------------------------------
+    @property
+    def num_edges(self) -> int:
+        return self.u.size
+
+    def __len__(self) -> int:
+        return self.num_edges
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"EdgeList(num_vertices={self.num_vertices}, "
+            f"num_edges={self.num_edges})"
+        )
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, EdgeList):
+            return NotImplemented
+        return (
+            self.num_vertices == other.num_vertices
+            and np.array_equal(self.u, other.u)
+            and np.array_equal(self.v, other.v)
+        )
+
+    def __hash__(self) -> int:  # EdgeLists are immutable
+        return hash((self.num_vertices, self.u.tobytes(), self.v.tobytes()))
+
+    # ------------------------------------------------------------------
+    # Lookup
+    # ------------------------------------------------------------------
+    @property
+    def keys(self) -> np.ndarray:
+        """Strictly increasing scalar key ``u * n + v`` per edge."""
+        return self._keys
+
+    def edge_ids(self, qu: np.ndarray, qv: np.ndarray, strict: bool = True) -> np.ndarray:
+        """Vectorized lookup of dense edge ids for (qu, qv) pairs.
+
+        Pairs are canonicalized internally (order of endpoints does not
+        matter). With ``strict=True`` a missing edge raises
+        :class:`EdgeNotFoundError`; otherwise missing pairs map to ``-1``.
+        """
+        qu = np.asarray(qu, dtype=np.int64)
+        qv = np.asarray(qv, dtype=np.int64)
+        lo = np.minimum(qu, qv)
+        hi = np.maximum(qu, qv)
+        key = lo * np.int64(self.num_vertices) + hi
+        pos = np.searchsorted(self._keys, key)
+        pos_clipped = np.minimum(pos, max(self.num_edges - 1, 0))
+        if self.num_edges == 0:
+            found = np.zeros(key.shape, dtype=bool)
+        else:
+            found = self._keys[pos_clipped] == key
+        if strict:
+            if not np.all(found):
+                bad = np.argwhere(~found).ravel()
+                i = int(bad[0])
+                raise EdgeNotFoundError(
+                    f"edge ({int(lo.flat[i])}, {int(hi.flat[i])}) not in graph"
+                )
+            return pos
+        out = np.where(found, pos_clipped, -1)
+        return out
+
+    def edge_id(self, a: int, b: int) -> int:
+        """Scalar edge-id lookup; raises :class:`EdgeNotFoundError` if absent."""
+        return int(self.edge_ids(np.array([a]), np.array([b]))[0])
+
+    def has_edge(self, a: int, b: int) -> bool:
+        return int(self.edge_ids(np.array([a]), np.array([b]), strict=False)[0]) >= 0
+
+    def endpoints(self, eids: np.ndarray | int) -> tuple[np.ndarray, np.ndarray]:
+        """Return (u, v) endpoint arrays for the given edge ids."""
+        return self.u[eids], self.v[eids]
+
+    def as_tuples(self) -> list[tuple[int, int]]:
+        """Edge list as Python tuples (small graphs / tests only)."""
+        return list(zip(self.u.tolist(), self.v.tolist()))
+
+    # ------------------------------------------------------------------
+    # Derived edge lists
+    # ------------------------------------------------------------------
+    def subset(self, mask_or_ids: np.ndarray) -> "EdgeList":
+        """Edge list restricted to a boolean mask or id array.
+
+        Vertex ids are preserved (no compaction); the result is a valid
+        canonical edge list over the same vertex set.
+        """
+        sel = np.asarray(mask_or_ids)
+        if sel.dtype == bool:
+            ids = np.flatnonzero(sel)
+        else:
+            ids = np.sort(sel.astype(np.int64))
+        return EdgeList(self.u[ids], self.v[ids], self.num_vertices)
+
+    def degrees(self) -> np.ndarray:
+        """Undirected degree of every vertex."""
+        deg = np.bincount(self.u, minlength=self.num_vertices)
+        deg += np.bincount(self.v, minlength=self.num_vertices)
+        return deg

@@ -1,0 +1,73 @@
+"""Graph property utilities: degree statistics, density, components.
+
+Used by the dataset registry to report Table-3-style inventories and by
+tests to sanity-check generators.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.graph.csr import CSRGraph
+from repro.graph.edgelist import EdgeList
+
+
+@dataclass(frozen=True)
+class GraphSummary:
+    """Compact description of a graph, Table-3 style."""
+
+    num_vertices: int
+    num_edges: int
+    max_degree: int
+    mean_degree: float
+    num_isolated: int
+
+    def row(self) -> tuple:
+        return (
+            self.num_vertices,
+            self.num_edges,
+            self.max_degree,
+            round(self.mean_degree, 2),
+            self.num_isolated,
+        )
+
+
+def summarize(edges: EdgeList) -> GraphSummary:
+    """Degree-based summary of an edge list."""
+    deg = edges.degrees()
+    return GraphSummary(
+        num_vertices=edges.num_vertices,
+        num_edges=edges.num_edges,
+        max_degree=int(deg.max()) if deg.size else 0,
+        mean_degree=float(deg.mean()) if deg.size else 0.0,
+        num_isolated=int((deg == 0).sum()),
+    )
+
+
+def degree_histogram(edges: EdgeList) -> np.ndarray:
+    """``hist[d]`` = number of vertices with degree ``d``."""
+    deg = edges.degrees()
+    return np.bincount(deg) if deg.size else np.zeros(1, dtype=np.int64)
+
+
+def num_connected_components(graph: CSRGraph) -> int:
+    """Number of connected components (scipy reference implementation)."""
+    import scipy.sparse.csgraph as csgraph
+
+    if graph.num_vertices == 0:
+        return 0
+    n_comp, _ = csgraph.connected_components(graph.to_scipy(), directed=False)
+    return int(n_comp)
+
+
+def global_clustering_coefficient(graph: CSRGraph) -> float:
+    """3 * triangles / open wedges, computed from the CSR adjacency."""
+    from repro.triangles.count import count_triangles
+
+    deg = graph.degrees().astype(np.float64)
+    wedges = float((deg * (deg - 1) / 2).sum())
+    if wedges == 0:
+        return 0.0
+    return 3.0 * count_triangles(graph) / wedges

@@ -1,0 +1,45 @@
+"""Parallel runtime substrate.
+
+The paper's implementation is OpenMP/C++ on a 128-core Perlmutter node.
+CPython (GIL, and a single core in this environment) cannot express that
+directly, so this package provides three coordinated pieces:
+
+* **Backends** (:mod:`repro.parallel.backends`) — a uniform
+  ``parallel_for`` over serial and real-thread execution. The thread
+  backend exists to demonstrate that the algorithms' benign races are in
+  fact benign (tests run the hooking kernels concurrently); it does not
+  speed anything up under the GIL.
+* **Instrumentation** (:mod:`repro.parallel.instrument`) — every
+  algorithm kernel wraps its parallel regions in
+  ``Instrumentation.region(...)`` spans recording measured seconds, the
+  amount of parallelizable work, the number of barrier-synchronized
+  rounds, and the region's arithmetic intensity class.
+* **SimulatedMachine** (:mod:`repro.parallel.simulate`) — converts the
+  recorded region trace into predicted T(p) for a Perlmutter-like
+  :class:`MachineProfile`, producing the strong-scaling and efficiency
+  curves of the paper's Figures 6–9.
+"""
+
+from repro.parallel.api import ExecutionPolicy
+from repro.parallel.backends import SerialBackend, ThreadBackend, get_backend, parallel_for
+from repro.parallel.instrument import Instrumentation, Region
+from repro.parallel.partition import block_ranges, cyclic_indices, guided_ranges
+from repro.parallel.simulate import MachineProfile, ScalingCurve, SimulatedMachine
+from repro.parallel.atomics import AtomicArray
+
+__all__ = [
+    "AtomicArray",
+    "ExecutionPolicy",
+    "Instrumentation",
+    "MachineProfile",
+    "Region",
+    "ScalingCurve",
+    "SerialBackend",
+    "SimulatedMachine",
+    "ThreadBackend",
+    "block_ranges",
+    "cyclic_indices",
+    "get_backend",
+    "guided_ranges",
+    "parallel_for",
+]

@@ -1,0 +1,37 @@
+"""Execution policy: how a kernel should run and be accounted.
+
+An :class:`ExecutionPolicy` bundles the backend choice, the worker
+count, and the instrumentation sink. Algorithms accept an optional
+policy; ``None`` means serial execution with a throwaway trace.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.parallel.backends import SerialBackend, ThreadBackend, get_backend
+from repro.parallel.instrument import Instrumentation
+from repro.utils.validation import check_positive
+
+
+@dataclass
+class ExecutionPolicy:
+    """Backend + worker count + instrumentation sink for one run."""
+
+    backend: str | SerialBackend | ThreadBackend = "serial"
+    num_workers: int = 1
+    trace: Instrumentation = field(default_factory=Instrumentation)
+
+    def __post_init__(self) -> None:
+        check_positive("num_workers", self.num_workers)
+        if isinstance(self.backend, str):
+            self.backend = get_backend(self.backend)
+
+    def run(self, n: int, chunk_fn) -> None:
+        """Dispatch ``chunk_fn`` over ``range(n)`` on this policy's backend."""
+        self.backend.run(n, chunk_fn, self.num_workers)
+
+    @classmethod
+    def default(cls, policy: "ExecutionPolicy | None") -> "ExecutionPolicy":
+        """Normalize an optional policy argument."""
+        return policy if policy is not None else cls()

@@ -1,0 +1,79 @@
+"""Execution backends: a uniform ``parallel_for`` over serial and threads.
+
+A *chunk function* receives ``(lo, hi, tid)`` — a contiguous index range
+and the id of the worker executing it — matching the shape of an OpenMP
+``parallel for`` body. The serial backend runs one chunk; the thread
+backend runs one chunk per worker via a thread pool.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+from concurrent.futures import ThreadPoolExecutor
+
+from repro.errors import BackendError
+from repro.parallel.partition import block_ranges
+from repro.utils.validation import check_positive
+
+ChunkFn = Callable[[int, int, int], None]
+
+
+class SerialBackend:
+    """Executes the whole range as a single chunk on the calling thread."""
+
+    name = "serial"
+
+    def run(self, n: int, chunk_fn: ChunkFn, num_workers: int = 1) -> None:
+        chunk_fn(0, n, 0)
+
+
+class ThreadBackend:
+    """Executes block-partitioned chunks on a thread pool.
+
+    Under the CPython GIL this provides concurrency, not parallel
+    speedup; it exists so tests can exercise the benign-race behavior of
+    the hooking kernels with real thread interleavings.
+    """
+
+    name = "thread"
+
+    def run(self, n: int, chunk_fn: ChunkFn, num_workers: int = 2) -> None:
+        check_positive("num_workers", num_workers)
+        if num_workers == 1 or n == 0:
+            chunk_fn(0, n, 0)
+            return
+        ranges = block_ranges(n, num_workers)
+        with ThreadPoolExecutor(max_workers=num_workers) as pool:
+            futures = [
+                pool.submit(chunk_fn, lo, hi, tid)
+                for tid, (lo, hi) in enumerate(ranges)
+            ]
+            for fut in futures:
+                fut.result()  # propagate worker exceptions
+
+
+_BACKENDS = {
+    "serial": SerialBackend,
+    "thread": ThreadBackend,
+}
+
+
+def get_backend(name: str):
+    """Instantiate a backend by name (``serial`` or ``thread``)."""
+    try:
+        return _BACKENDS[name]()
+    except KeyError:
+        raise BackendError(
+            f"unknown backend {name!r}; available: {sorted(_BACKENDS)}"
+        ) from None
+
+
+def parallel_for(
+    n: int,
+    chunk_fn: ChunkFn,
+    backend: str | SerialBackend | ThreadBackend = "serial",
+    num_workers: int = 1,
+) -> None:
+    """Run ``chunk_fn`` over ``range(n)`` on the chosen backend."""
+    be = get_backend(backend) if isinstance(backend, str) else backend
+    be.run(n, chunk_fn, num_workers)

@@ -1,0 +1,131 @@
+"""Work/depth instrumentation of parallel regions.
+
+Every algorithm kernel wraps its parallel regions in
+:meth:`Instrumentation.region`. A region records:
+
+* measured wall-clock ``seconds`` (single-thread vectorized execution),
+* ``work`` — number of parallelizable items processed,
+* ``rounds`` — barrier-synchronized sub-phases inside the region
+  (an SV hooking iteration is one round),
+* ``intensity`` — arithmetic-intensity class used by the machine model
+  to pick a memory-bandwidth-bound fraction (compute-heavy kernels scale
+  further than bandwidth-bound ones, which is exactly why the paper's
+  *Baseline* shows higher raw speedup than the optimized variants §4.3),
+* ``parallel`` — ``False`` marks inherently serial sections.
+
+The trace feeds :class:`repro.parallel.simulate.SimulatedMachine`.
+"""
+
+from __future__ import annotations
+
+import time
+from collections.abc import Iterator
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+
+from repro.errors import InvalidParameterError
+
+#: Valid arithmetic-intensity classes.
+INTENSITIES = ("compute", "mixed", "memory")
+
+
+@dataclass
+class Region:
+    """One recorded (possibly parallel) region of an algorithm run."""
+
+    name: str
+    seconds: float
+    work: int = 1
+    rounds: int = 1
+    intensity: str = "mixed"
+    parallel: bool = True
+
+    def __post_init__(self) -> None:
+        if self.intensity not in INTENSITIES:
+            raise InvalidParameterError(
+                f"intensity must be one of {INTENSITIES}, got {self.intensity!r}"
+            )
+        if self.rounds < 1:
+            raise InvalidParameterError("rounds must be >= 1")
+
+
+@dataclass
+class Instrumentation:
+    """Accumulates a trace of :class:`Region` records."""
+
+    regions: list[Region] = field(default_factory=list)
+
+    @contextmanager
+    def region(
+        self,
+        name: str,
+        work: int = 1,
+        rounds: int = 1,
+        intensity: str = "mixed",
+        parallel: bool = True,
+    ) -> Iterator["_RegionHandle"]:
+        """Time a region; ``work``/``rounds`` may be updated via the handle
+        when they are only known after execution."""
+        handle = _RegionHandle(work=work, rounds=rounds)
+        start = time.perf_counter()
+        try:
+            yield handle
+        finally:
+            self.regions.append(
+                Region(
+                    name=name,
+                    seconds=time.perf_counter() - start,
+                    work=max(int(handle.work), 1),
+                    rounds=max(int(handle.rounds), 1),
+                    intensity=intensity,
+                    parallel=parallel,
+                )
+            )
+
+    def add(self, region: Region) -> None:
+        self.regions.append(region)
+
+    def extend(self, other: "Instrumentation") -> None:
+        self.regions.extend(other.regions)
+
+    @property
+    def total_seconds(self) -> float:
+        return sum(r.seconds for r in self.regions)
+
+    @property
+    def serial_seconds(self) -> float:
+        return sum(r.seconds for r in self.regions if not r.parallel)
+
+    @property
+    def total_work(self) -> int:
+        return sum(r.work for r in self.regions if r.parallel)
+
+    @property
+    def total_rounds(self) -> int:
+        return sum(r.rounds for r in self.regions if r.parallel)
+
+    def by_name(self) -> dict[str, float]:
+        """Seconds aggregated per region name, in first-seen order."""
+        out: dict[str, float] = {}
+        for r in self.regions:
+            out[r.name] = out.get(r.name, 0.0) + r.seconds
+        return out
+
+
+@dataclass
+class _RegionHandle:
+    """Mutable work/round counters exposed inside a region span.
+
+    Callers that discover work incrementally open the region with
+    ``work=0, rounds=0`` and call :meth:`add_round` once per
+    barrier-synchronized round; callers that know the totals up front
+    just pass them to :meth:`Instrumentation.region`.
+    """
+
+    work: int = 1
+    rounds: int = 1
+
+    def add_round(self, work: int) -> None:
+        """Record one more barrier-synchronized round of ``work`` items."""
+        self.rounds += 1
+        self.work += int(work)

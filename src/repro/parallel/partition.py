@@ -1,0 +1,54 @@
+"""Work partitioners mirroring OpenMP's static/cyclic/guided schedules."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.utils.validation import check_nonnegative, check_positive
+
+
+def block_ranges(n: int, parts: int) -> list[tuple[int, int]]:
+    """Split ``range(n)`` into ``parts`` contiguous near-equal blocks.
+
+    The first ``n % parts`` blocks get one extra item (OpenMP
+    ``schedule(static)``). Empty blocks are included so thread ids map
+    one-to-one onto blocks.
+    """
+    check_nonnegative("n", n)
+    check_positive("parts", parts)
+    base, extra = divmod(n, parts)
+    out = []
+    lo = 0
+    for i in range(parts):
+        hi = lo + base + (1 if i < extra else 0)
+        out.append((lo, hi))
+        lo = hi
+    return out
+
+
+def cyclic_indices(n: int, parts: int, part: int) -> np.ndarray:
+    """Indices owned by ``part`` under round-robin (``schedule(static,1)``)."""
+    check_nonnegative("n", n)
+    check_positive("parts", parts)
+    if not 0 <= part < parts:
+        raise IndexError(f"part {part} out of range for {parts} parts")
+    return np.arange(part, n, parts, dtype=np.int64)
+
+
+def guided_ranges(n: int, parts: int, min_chunk: int = 1) -> list[tuple[int, int]]:
+    """Guided schedule: chunk size = remaining / parts, halving over time.
+
+    Returns the full ordered chunk list (assignment to threads is
+    dynamic at run time; callers treat this as a work queue).
+    """
+    check_nonnegative("n", n)
+    check_positive("parts", parts)
+    check_positive("min_chunk", min_chunk)
+    chunks = []
+    lo = 0
+    while lo < n:
+        size = max((n - lo + parts - 1) // parts, min_chunk)
+        hi = min(lo + size, n)
+        chunks.append((lo, hi))
+        lo = hi
+    return chunks

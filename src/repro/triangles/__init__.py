@@ -1,0 +1,29 @@
+"""Triangle kernels: enumeration, counting, per-edge support, incidence.
+
+Triangle connectivity is the building block of the whole EquiTruss
+formulation (Definitions 1–6 of the paper). The production path
+enumerates each triangle exactly once via a degree-ordered DAG and fully
+vectorized batch intersections, returning the *edge ids* of the three
+sides — the representation every downstream kernel (truss peeling,
+supernode CC, superedge generation) consumes.
+"""
+
+from repro.triangles.enumerate import TriangleSet, enumerate_triangles
+from repro.triangles.count import (
+    count_triangles,
+    count_triangles_matrix,
+    count_triangles_node_iterator,
+)
+from repro.triangles.support import compute_support, support_histogram
+from repro.triangles.incidence import EdgeTriangleIncidence
+
+__all__ = [
+    "EdgeTriangleIncidence",
+    "TriangleSet",
+    "compute_support",
+    "count_triangles",
+    "count_triangles_matrix",
+    "count_triangles_node_iterator",
+    "enumerate_triangles",
+    "support_histogram",
+]

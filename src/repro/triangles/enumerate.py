@@ -1,0 +1,165 @@
+"""Exact triangle enumeration via a degree-ordered DAG.
+
+The *forward* algorithm [Schank & Wagner 2005, cited as [37] in the
+paper]: orient every undirected edge from the endpoint of lower
+(degree, id) rank to the higher one. Each triangle {u, v, w} then
+appears exactly once as a pair of directed edges u→v, u→w plus the
+closing edge v→w. Enumeration is vectorized: for every directed edge
+(u, v) the candidate third vertices are N⁺(v), and membership of w in
+N⁺(u) is tested for the whole batch at once with one ``searchsorted``
+over the DAG's globally sorted (row·n + col) slot keys.
+
+Work is O(Σ_(u,v) d⁺(v)) — the standard arboricity-bounded cost. Batches
+cap peak memory for large graphs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.graph.csr import CSRGraph
+from repro.utils.validation import check_positive
+
+
+@dataclass(frozen=True)
+class TriangleSet:
+    """All triangles of a graph, as edge-id triples.
+
+    For triangle {u, v, w} with DAG orientation u→v, u→w, v→w:
+
+    * ``e_uv`` — edge id of (u, v),
+    * ``e_uw`` — edge id of (u, w),
+    * ``e_vw`` — edge id of (v, w).
+
+    Each triangle appears exactly once. ``num_edges`` is the edge count
+    of the originating graph (needed to size support arrays).
+    """
+
+    e_uv: np.ndarray
+    e_uw: np.ndarray
+    e_vw: np.ndarray
+    num_edges: int
+
+    @property
+    def count(self) -> int:
+        return self.e_uv.size
+
+    def as_matrix(self) -> np.ndarray:
+        """``int64[T, 3]`` matrix of edge-id triples."""
+        return np.stack([self.e_uv, self.e_uw, self.e_vw], axis=1)
+
+    def support(self) -> np.ndarray:
+        """Number of triangles per edge (Definition 2 of the paper)."""
+        sup = np.zeros(self.num_edges, dtype=np.int64)
+        for arr in (self.e_uv, self.e_uw, self.e_vw):
+            sup += np.bincount(arr, minlength=self.num_edges)
+        return sup
+
+    def canonical_sorted(self) -> np.ndarray:
+        """Row-sorted triples in deterministic order (tests/comparisons)."""
+        m = np.sort(self.as_matrix(), axis=1)
+        order = np.lexsort((m[:, 2], m[:, 1], m[:, 0]))
+        return m[order]
+
+
+def _degree_ordered_dag(graph: CSRGraph):
+    """Orient edges by (degree, id) rank; return DAG CSR arrays.
+
+    Returns (indptr, heads, slot_eids, tails_per_slot) where rows are
+    original vertex ids, columns sorted ascending, and ``slot_eids``
+    carries the canonical undirected edge id of each directed slot.
+    """
+    n = graph.num_vertices
+    deg = graph.degrees()
+    # rank[u] < rank[v]  <=>  (deg[u], u) < (deg[v], v)
+    rank = np.empty(n, dtype=np.int64)
+    rank[np.lexsort((np.arange(n), deg))] = np.arange(n, dtype=np.int64)
+
+    u, v = graph.edges.u, graph.edges.v
+    u_first = rank[u] < rank[v]
+    tails = np.where(u_first, u, v)
+    heads = np.where(u_first, v, u)
+    eids = np.arange(graph.num_edges, dtype=np.int64)
+
+    order = np.argsort(tails * np.int64(max(n, 1)) + heads, kind="stable")
+    tails, heads, eids = tails[order], heads[order], eids[order]
+    counts = np.bincount(tails, minlength=n)
+    indptr = np.zeros(n + 1, dtype=np.int64)
+    np.cumsum(counts, out=indptr[1:])
+    return indptr, heads, eids, tails
+
+
+def enumerate_triangles(
+    graph: CSRGraph, batch_slots: int = 1 << 18
+) -> TriangleSet:
+    """Enumerate every triangle of ``graph`` exactly once.
+
+    ``batch_slots`` bounds how many directed edges are expanded per
+    vectorized batch (peak temporary memory ≈ batch wedge count).
+    """
+    check_positive("batch_slots", batch_slots)
+    n = graph.num_vertices
+    indptr, heads, slot_eids, tails = _degree_ordered_dag(graph)
+    num_slots = heads.size
+    outdeg = np.diff(indptr)
+    slot_keys = tails * np.int64(max(n, 1)) + heads  # strictly increasing
+
+    parts_uv: list[np.ndarray] = []
+    parts_uw: list[np.ndarray] = []
+    parts_vw: list[np.ndarray] = []
+
+    # For each DAG edge (u, v) we may expand either N⁺(v) (testing w
+    # against N⁺(u)) or N⁺(u) (testing against N⁺(v)); both find the same
+    # triangle. Expanding the smaller list bounds the wedge blow-up at
+    # high-degree hubs.
+    expand_head = outdeg[heads] <= outdeg[tails]
+
+    def process(slot_sel: np.ndarray, from_head: bool) -> None:
+        for lo in range(0, slot_sel.size, batch_slots):
+            slots = slot_sel[lo : lo + batch_slots]
+            b_heads = heads[slots]
+            b_tails = tails[slots]
+            expand = b_heads if from_head else b_tails
+            other = b_tails if from_head else b_heads
+            counts = outdeg[expand]
+            total = int(counts.sum())
+            if total == 0:
+                continue
+            # Grouped arange: for slot s, local offsets 0..counts[s]-1.
+            cum = np.concatenate([np.zeros(1, np.int64), np.cumsum(counts)])
+            local = np.arange(total, dtype=np.int64) - np.repeat(cum[:-1], counts)
+            w_pos = np.repeat(indptr[expand], counts) + local
+            w = heads[w_pos]
+            # Membership: is (other, w) a DAG edge?  One searchsorted.
+            q = np.repeat(other, counts) * np.int64(max(n, 1)) + w
+            pos = np.searchsorted(slot_keys, q)
+            pos_c = np.minimum(pos, max(num_slots - 1, 0))
+            found = slot_keys[pos_c] == q
+            if not np.any(found):
+                continue
+            slot_rep = np.repeat(slots, counts)[found]
+            e_pivot = slot_eids[slot_rep]           # edge (u, v)
+            e_from_expand = slot_eids[w_pos[found]]  # edge (expand, w)
+            e_from_other = slot_eids[pos_c[found]]   # edge (other, w)
+            parts_uv.append(e_pivot)
+            if from_head:
+                # expanded from v: (v, w) is the closing edge, (u, w) = other side
+                parts_uw.append(e_from_other)
+                parts_vw.append(e_from_expand)
+            else:
+                parts_uw.append(e_from_expand)
+                parts_vw.append(e_from_other)
+
+    all_slots = np.arange(num_slots, dtype=np.int64)
+    process(all_slots[expand_head], from_head=True)
+    process(all_slots[~expand_head], from_head=False)
+
+    if parts_uv:
+        e_uv = np.concatenate(parts_uv)
+        e_uw = np.concatenate(parts_uw)
+        e_vw = np.concatenate(parts_vw)
+    else:
+        e_uv = e_uw = e_vw = np.empty(0, dtype=np.int64)
+    return TriangleSet(e_uv=e_uv, e_uw=e_uw, e_vw=e_vw, num_edges=graph.num_edges)

@@ -1,0 +1,26 @@
+"""K-truss decomposition: trussness τ(e) for every edge.
+
+Trussness (Definition 4 of the paper) is the input the EquiTruss index
+construction consumes: Algorithm 1/2 receive "a dictionary of edges with
+their k-truss values pre-computed by a k-truss decomposition technique".
+Here we build that technique ourselves: a serial bucket-peeling
+reference (Cohen's algorithm) and a vectorized level-synchronous peeling
+(PKT-style [Kabir & Madduri, HPEC'17 — ref. 24 of the paper]) used by
+all benchmarks.
+"""
+
+from repro.truss.decompose import (
+    TrussDecomposition,
+    k_truss_edge_mask,
+    truss_decomposition,
+    truss_decomposition_serial,
+)
+from repro.truss.verify import verify_trussness
+
+__all__ = [
+    "TrussDecomposition",
+    "k_truss_edge_mask",
+    "truss_decomposition",
+    "truss_decomposition_serial",
+    "verify_trussness",
+]

@@ -1,0 +1,195 @@
+"""Truss decomposition by support peeling.
+
+Both implementations compute, for every edge, the largest k such that
+the edge belongs to a k-truss (trussness, τ). Peeling invariant: at
+level k, repeatedly discard edges whose remaining support is below
+k - 2; edges discarded at level k have τ = k - 1; edges never discarded
+before the graph empties at level k have τ = k - 1 as well (assigned
+when they are finally peeled).
+
+``truss_decomposition`` is the vectorized level-synchronous variant
+(each sub-round peels the whole frontier at once and cascades support
+decrements through dying triangles — the PKT structure); ``*_serial``
+is a pure-Python bucket-queue reference used for cross-validation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import InvalidParameterError
+from repro.graph.csr import CSRGraph
+from repro.parallel.api import ExecutionPolicy
+from repro.triangles.enumerate import TriangleSet, enumerate_triangles
+from repro.triangles.incidence import EdgeTriangleIncidence
+
+
+@dataclass(frozen=True)
+class TrussDecomposition:
+    """Result of a truss decomposition.
+
+    Attributes
+    ----------
+    trussness:
+        ``int64[m]`` — τ(e) per edge id; 2 for triangle-free edges.
+    support:
+        ``int64[m]`` — initial (undamaged) support per edge.
+    peel_rounds:
+        Number of frontier sub-rounds the peeling took (the depth of the
+        level-synchronous schedule).
+    """
+
+    trussness: np.ndarray
+    support: np.ndarray
+    peel_rounds: int
+
+    @property
+    def num_edges(self) -> int:
+        return self.trussness.size
+
+    @property
+    def kmax(self) -> int:
+        """Largest trussness present (2 for triangle-free graphs)."""
+        return int(self.trussness.max()) if self.trussness.size else 2
+
+    def k_classes(self) -> np.ndarray:
+        """Sorted distinct trussness values ≥ 3 (the Φ_k levels)."""
+        ks = np.unique(self.trussness)
+        return ks[ks >= 3]
+
+    def phi(self, k: int) -> np.ndarray:
+        """Edge ids of the Φ_k set (trussness exactly k)."""
+        return np.flatnonzero(self.trussness == k)
+
+    def truss_sizes(self) -> dict[int, int]:
+        """Number of edges per trussness level ≥ 3."""
+        return {int(k): int((self.trussness == k).sum()) for k in self.k_classes()}
+
+
+def k_truss_edge_mask(decomp: TrussDecomposition, k: int) -> np.ndarray:
+    """Boolean mask of edges in the maximal k-truss (τ(e) ≥ k)."""
+    if k < 2:
+        raise InvalidParameterError(f"k must be >= 2, got {k}")
+    return decomp.trussness >= k
+
+
+def truss_decomposition(
+    graph: CSRGraph,
+    triangles: TriangleSet | None = None,
+    policy: ExecutionPolicy | None = None,
+) -> TrussDecomposition:
+    """Vectorized level-synchronous truss decomposition.
+
+    Each sub-round removes the entire current frontier (edges whose
+    support dropped below k - 2), kills every triangle containing a
+    removed edge, and decrements the support of the surviving member
+    edges — one ``bincount`` scatter per sub-round. The frontier rounds
+    are the barrier-synchronized rounds recorded for the machine model.
+    """
+    policy = ExecutionPolicy.default(policy)
+    if triangles is None:
+        triangles = enumerate_triangles(graph)
+    m = graph.num_edges
+    with policy.trace.region(
+        "TrussDecomp", work=0, rounds=0, intensity="memory"
+    ) as handle:
+        inc = EdgeTriangleIncidence(triangles)
+        sup = triangles.support().copy()
+        support0 = sup.copy()
+        tau = np.full(m, 2, dtype=np.int64)
+        alive_e = np.ones(m, dtype=bool)
+        alive_t = np.ones(triangles.count, dtype=bool)
+        e_uv, e_uw, e_vw = triangles.e_uv, triangles.e_uw, triangles.e_vw
+        indptr, tri_ids = inc.indptr, inc.tri_ids
+
+        rounds = 0
+        k = 3
+        remaining = m
+        while remaining > 0:
+            frontier = np.flatnonzero(alive_e & (sup < k - 2))
+            if frontier.size == 0:
+                k += 1
+                continue
+            while frontier.size:
+                rounds += 1
+                handle.add_round(int(frontier.size))
+                tau[frontier] = k - 1
+                alive_e[frontier] = False
+                remaining -= frontier.size
+                # Triangles touched by the frontier (with repetition when a
+                # triangle loses 2–3 edges at once).
+                counts = indptr[frontier + 1] - indptr[frontier]
+                total = int(counts.sum())
+                if total:
+                    cum = np.concatenate([np.zeros(1, np.int64), np.cumsum(counts)])
+                    local = np.arange(total, dtype=np.int64) - np.repeat(cum[:-1], counts)
+                    touched = tri_ids[np.repeat(indptr[frontier], counts) + local]
+                    dying = np.unique(touched[alive_t[touched]])
+                    alive_t[dying] = False
+                    # Decrement surviving member edges of each dying triangle
+                    # exactly once.
+                    sides = np.concatenate([e_uv[dying], e_uw[dying], e_vw[dying]])
+                    sides = sides[alive_e[sides]]
+                    if sides.size:
+                        sup -= np.bincount(sides, minlength=m)
+                frontier = np.flatnonzero(alive_e & (sup < k - 2))
+            k += 1
+
+    return TrussDecomposition(trussness=tau, support=support0, peel_rounds=rounds)
+
+
+def truss_decomposition_serial(
+    graph: CSRGraph, triangles: TriangleSet | None = None
+) -> TrussDecomposition:
+    """Pure-Python bucket-queue peeling (Cohen's algorithm), reference.
+
+    Processes one minimum-support edge at a time; exact but slow — use
+    only on small graphs and for cross-validation of the vectorized
+    variant.
+    """
+    if triangles is None:
+        triangles = enumerate_triangles(graph)
+    m = graph.num_edges
+    inc = EdgeTriangleIncidence(triangles)
+    sup = triangles.support().astype(np.int64)
+    support0 = sup.copy()
+    tau = np.full(m, 2, dtype=np.int64)
+    alive_e = np.ones(m, dtype=bool)
+    alive_t = np.ones(triangles.count, dtype=bool)
+    mat = triangles.as_matrix()
+
+    max_sup = int(sup.max()) if m else 0
+    buckets: list[list[int]] = [[] for _ in range(max_sup + 1)]
+    for e in range(m):
+        buckets[int(sup[e])].append(e)
+
+    level = 0  # current peel level = k - 2
+    processed = 0
+    cursor = 0
+    rounds = 0
+    while processed < m:
+        while cursor <= max_sup and not buckets[cursor]:
+            cursor += 1
+        e = buckets[cursor].pop()
+        if not alive_e[e] or int(sup[e]) != cursor:
+            continue  # stale bucket entry (support changed since insertion)
+        rounds += 1
+        level = max(level, cursor)
+        tau[e] = level + 2
+        alive_e[e] = False
+        processed += 1
+        for t in inc.triangles_of(e).tolist():
+            if not alive_t[t]:
+                continue
+            alive_t[t] = False
+            for other in mat[t].tolist():
+                if other != e and alive_e[other]:
+                    new_sup = int(sup[other]) - 1
+                    sup[other] = new_sup
+                    if new_sup >= 0:
+                        buckets[new_sup].append(other)
+                        if new_sup < cursor:
+                            cursor = new_sup
+    return TrussDecomposition(trussness=tau, support=support0, peel_rounds=rounds)

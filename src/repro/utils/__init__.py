@@ -1,0 +1,21 @@
+"""Shared utilities: timers, RNG helpers, validation."""
+
+from repro.utils.timing import KernelTimer, Timer, TimingRecord
+from repro.utils.validation import (
+    check_array_1d,
+    check_in_range,
+    check_nonnegative,
+    check_positive,
+)
+from repro.utils.rng import resolve_rng
+
+__all__ = [
+    "KernelTimer",
+    "Timer",
+    "TimingRecord",
+    "check_array_1d",
+    "check_in_range",
+    "check_nonnegative",
+    "check_positive",
+    "resolve_rng",
+]

@@ -1,0 +1,18 @@
+"""Deterministic random-number-generator plumbing.
+
+Every stochastic component (graph generators, Afforest sampling) accepts a
+``seed`` that may be an integer, a :class:`numpy.random.Generator`, or
+``None``; :func:`resolve_rng` normalizes all three so results are
+reproducible when the caller passes an integer.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def resolve_rng(seed: int | np.random.Generator | None) -> np.random.Generator:
+    """Return a :class:`numpy.random.Generator` for any accepted seed form."""
+    if isinstance(seed, np.random.Generator):
+        return seed
+    return np.random.default_rng(seed)

@@ -1,0 +1,110 @@
+"""Wall-clock timing utilities used by the benchmark harness.
+
+The paper reports per-kernel timing breakdowns (Support, Init, SpNode,
+SpEdge, SmGraph, SpNodeRemap — Figs. 2, 4, 8). :class:`KernelTimer`
+accumulates named spans so every EquiTruss variant can report the same
+breakdown without threading timing code through its internals.
+"""
+
+from __future__ import annotations
+
+import time
+from collections.abc import Iterator
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+
+
+@dataclass
+class TimingRecord:
+    """A single named timing measurement in seconds."""
+
+    name: str
+    seconds: float
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{self.name}: {self.seconds:.6f}s"
+
+
+class Timer:
+    """A simple start/stop wall-clock timer.
+
+    Can be used as a context manager::
+
+        with Timer() as t:
+            work()
+        print(t.elapsed)
+    """
+
+    def __init__(self) -> None:
+        self._start: float | None = None
+        self.elapsed: float = 0.0
+
+    def start(self) -> "Timer":
+        self._start = time.perf_counter()
+        return self
+
+    def stop(self) -> float:
+        if self._start is None:
+            raise RuntimeError("Timer.stop() called before start()")
+        self.elapsed += time.perf_counter() - self._start
+        self._start = None
+        return self.elapsed
+
+    def __enter__(self) -> "Timer":
+        return self.start()
+
+    def __exit__(self, *exc: object) -> None:
+        self.stop()
+
+
+class KernelTimer:
+    """Accumulates wall-clock time per named kernel.
+
+    Spans with the same name accumulate, which matches how the paper's
+    per-kernel numbers are produced (a kernel such as ``SpNode`` runs once
+    per trussness level and the level times are summed).
+    """
+
+    def __init__(self) -> None:
+        self._totals: dict[str, float] = {}
+        self._order: list[str] = []
+
+    @contextmanager
+    def span(self, name: str) -> Iterator[None]:
+        start = time.perf_counter()
+        try:
+            yield
+        finally:
+            self.add(name, time.perf_counter() - start)
+
+    def add(self, name: str, seconds: float) -> None:
+        if name not in self._totals:
+            self._totals[name] = 0.0
+            self._order.append(name)
+        self._totals[name] += seconds
+
+    def seconds(self, name: str) -> float:
+        return self._totals.get(name, 0.0)
+
+    @property
+    def total(self) -> float:
+        return sum(self._totals.values())
+
+    def breakdown(self) -> list[TimingRecord]:
+        """Timing records in first-seen order."""
+        return [TimingRecord(n, self._totals[n]) for n in self._order]
+
+    def percentages(self) -> dict[str, float]:
+        """Per-kernel share of the total, in percent (0 if nothing timed)."""
+        total = self.total
+        if total <= 0.0:
+            return {n: 0.0 for n in self._order}
+        return {n: 100.0 * self._totals[n] / total for n in self._order}
+
+    def merge(self, other: "KernelTimer") -> None:
+        for rec in other.breakdown():
+            self.add(rec.name, rec.seconds)
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        parts = [f"{r.name}={r.seconds:.4f}s" for r in self.breakdown()]
+        return "KernelTimer(" + ", ".join(parts) + ")"

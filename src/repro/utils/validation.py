@@ -1,0 +1,42 @@
+"""Argument validation helpers shared across the library."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import InvalidParameterError
+
+
+def check_positive(name: str, value: float) -> None:
+    """Raise :class:`InvalidParameterError` unless ``value > 0``."""
+    if not value > 0:
+        raise InvalidParameterError(f"{name} must be positive, got {value!r}")
+
+
+def check_nonnegative(name: str, value: float) -> None:
+    """Raise :class:`InvalidParameterError` unless ``value >= 0``."""
+    if value < 0:
+        raise InvalidParameterError(f"{name} must be >= 0, got {value!r}")
+
+
+def check_in_range(name: str, value: float, lo: float, hi: float) -> None:
+    """Raise unless ``lo <= value <= hi``."""
+    if not (lo <= value <= hi):
+        raise InvalidParameterError(
+            f"{name} must be in [{lo}, {hi}], got {value!r}"
+        )
+
+
+def check_array_1d(name: str, arr: np.ndarray, dtype_kind: str | None = None) -> np.ndarray:
+    """Validate that ``arr`` is a 1-D ndarray, optionally of a dtype kind.
+
+    Returns the array unchanged so callers can validate inline.
+    """
+    arr = np.asarray(arr)
+    if arr.ndim != 1:
+        raise InvalidParameterError(f"{name} must be 1-D, got shape {arr.shape}")
+    if dtype_kind is not None and arr.dtype.kind not in dtype_kind:
+        raise InvalidParameterError(
+            f"{name} must have dtype kind in {dtype_kind!r}, got {arr.dtype}"
+        )
+    return arr

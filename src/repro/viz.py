@@ -1,0 +1,50 @@
+"""Graphviz/DOT exports for inspection and documentation figures.
+
+Renders the summary graph (supernodes labeled with trussness and size,
+superedges as undirected links — the shape of the paper's Figure 3b)
+and individual communities. Pure text generation; no graphviz
+dependency is required to produce the files.
+"""
+
+from __future__ import annotations
+
+from repro.community.model import Community
+from repro.equitruss.index import EquiTrussIndex
+
+
+def summary_graph_dot(index: EquiTrussIndex, max_supernodes: int | None = None) -> str:
+    """DOT rendering of the EquiTruss summary graph.
+
+    ``max_supernodes`` truncates huge indexes to the first N supernodes
+    (plus the superedges among them) for viewability.
+    """
+    limit = index.num_supernodes if max_supernodes is None else min(
+        max_supernodes, index.num_supernodes
+    )
+    lines = ["graph equitruss {", "  node [shape=ellipse];"]
+    for sn in range(limit):
+        k = int(index.supernode_trussness[sn])
+        size = int(index.supernode_indptr[sn + 1] - index.supernode_indptr[sn])
+        lines.append(f'  nu{sn} [label="nu{sn}\\nk={k} |E|={size}"];')
+    for a, b in index.superedges.tolist():
+        if a < limit and b < limit:
+            lines.append(f"  nu{a} -- nu{b};")
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def community_dot(community: Community, highlight: int | None = None) -> str:
+    """DOT rendering of one community's subgraph.
+
+    ``highlight`` marks the query vertex.
+    """
+    g = community.graph
+    lines = [f"graph community_k{community.k} {{", "  node [shape=circle];"]
+    for v in community.vertices().tolist():
+        attr = ' [style=filled, fillcolor=gold]' if v == highlight else ""
+        lines.append(f"  v{v}{attr};")
+    u, w = g.edges.endpoints(community.edge_ids)
+    for a, b in zip(u.tolist(), w.tolist()):
+        lines.append(f"  v{a} -- v{b};")
+    lines.append("}")
+    return "\n".join(lines)

@@ -1,0 +1,114 @@
+"""Tests for advanced index queries."""
+
+import numpy as np
+import pytest
+
+from repro.community import online_communities
+from repro.community.advanced import (
+    communities_for_all_k,
+    max_k_communities,
+    search_communities_multi,
+    top_r_communities,
+)
+from repro.community.model import as_edge_set_family
+from repro.equitruss import build_index
+from repro.errors import InvalidParameterError
+from repro.graph import CSRGraph
+from repro.graph.generators import (
+    erdos_renyi_gnm,
+    paper_example_graph,
+    planted_community_graph,
+)
+
+
+@pytest.fixture(scope="module")
+def paper():
+    g = CSRGraph.from_edgelist(paper_example_graph())
+    return g, build_index(g, "afforest").index
+
+
+def test_max_k_communities(paper):
+    g, index = paper
+    k, comms = max_k_communities(index, 9)
+    assert k == 5
+    assert len(comms) == 1
+    assert set(comms[0].vertices().tolist()) == {6, 7, 8, 9, 10}
+    # vertex with no trussness>=3 edge
+    from repro.graph import build_graph
+
+    g2 = build_graph([0, 1], [1, 2])
+    idx2 = build_index(g2, "afforest").index
+    assert max_k_communities(idx2, 0) == (0, [])
+
+
+def test_max_k_matches_online(paper):
+    g, index = paper
+    for q in range(g.num_vertices):
+        k, comms = max_k_communities(index, q)
+        if k == 0:
+            continue
+        online = online_communities(g, q, k)
+        assert as_edge_set_family(comms) == as_edge_set_family(online)
+        # no community exists at k+1
+        assert online_communities(g, q, k + 1) == []
+
+
+def test_top_r(paper):
+    g, index = paper
+    top1 = top_r_communities(index, 6, 1)
+    assert len(top1) == 1 and top1[0].k == 5
+    top3 = top_r_communities(index, 6, 3)
+    assert [c.k for c in top3] == [5, 4, 3]
+    # r larger than available: returns everything
+    everything = top_r_communities(index, 6, 100)
+    assert len(everything) >= 3
+    with pytest.raises(InvalidParameterError):
+        top_r_communities(index, 6, 0)
+
+
+def test_communities_for_all_k(paper):
+    g, index = paper
+    profile = communities_for_all_k(index, 2)
+    assert sorted(profile) == [3, 4]
+    for k, comms in profile.items():
+        assert as_edge_set_family(comms) == as_edge_set_family(
+            online_communities(g, 2, k)
+        )
+
+
+def test_multi_vertex_query(paper):
+    g, index = paper
+    # 6 and 10 are both in the K5
+    comms = search_communities_multi(index, [6, 10], 5)
+    assert len(comms) == 1
+    # 0 and 9 never share a community at k=4
+    assert search_communities_multi(index, [0, 9], 4) == []
+    # singleton set behaves like plain search
+    from repro.community import search_communities
+
+    assert as_edge_set_family(
+        search_communities_multi(index, [5], 4)
+    ) == as_edge_set_family(search_communities(index, 5, 4))
+    with pytest.raises(InvalidParameterError):
+        search_communities_multi(index, [], 4)
+
+
+def test_multi_vertex_on_planted():
+    edges, comms = planted_community_graph(3, 7, 7, p_intra=1.0, overlap=1, seed=5)
+    g = CSRGraph.from_edgelist(edges)
+    index = build_index(g, "coptimal").index
+    a, b = int(comms[0][1]), int(comms[0][3])
+    found = search_communities_multi(index, [a, b], 6)
+    assert len(found) == 1
+    assert set(comms[0].tolist()) <= set(found[0].vertices().tolist())
+
+
+def test_top_r_random_graph_consistency():
+    g = CSRGraph.from_edgelist(erdos_renyi_gnm(40, 200, seed=8))
+    index = build_index(g, "afforest").index
+    for q in range(0, 40, 5):
+        top = top_r_communities(index, q, 4)
+        ks = [c.k for c in top]
+        assert ks == sorted(ks, reverse=True)
+        for c in top:
+            assert c.contains_vertex(q)

@@ -1,0 +1,56 @@
+"""Unit tests for community metrics."""
+
+import numpy as np
+
+from repro.community import (
+    community_conductance,
+    community_density,
+    community_edge_support,
+    membership_counts,
+    search_communities,
+)
+from repro.equitruss import build_index
+from repro.graph import CSRGraph, build_graph
+from repro.graph.generators import complete_graph, paper_example_graph
+
+
+def community_for(g, q, k):
+    index = build_index(g, "afforest").index
+    return search_communities(index, q, k)
+
+
+def test_density_of_clique_is_one():
+    g = CSRGraph.from_edgelist(complete_graph(6))
+    (c,) = community_for(g, 0, 6)
+    assert community_density(c) == 1.0
+
+
+def test_conductance_isolated_clique_zero():
+    g = CSRGraph.from_edgelist(complete_graph(5))
+    (c,) = community_for(g, 0, 5)
+    assert community_conductance(c) == 0.0
+
+
+def test_conductance_with_attachments():
+    # K4 plus a pendant path 3-4-5-6-7: conductance > 0 for the K4 community
+    g = build_graph(
+        [0, 0, 0, 1, 1, 2, 3, 4, 5, 6], [1, 2, 3, 2, 3, 3, 4, 5, 6, 7]
+    )
+    (c,) = community_for(g, 0, 4)
+    assert 0 < community_conductance(c) < 1
+
+
+def test_edge_support_k5():
+    g = CSRGraph.from_edgelist(paper_example_graph())
+    (c,) = community_for(g, 9, 5)
+    # inside the K5 every edge has support 3
+    assert community_edge_support(c) == 3.0
+
+
+def test_membership_counts_overlap():
+    g = CSRGraph.from_edgelist(paper_example_graph())
+    index = build_index(g, "afforest").index
+    comms = search_communities(index, 2, 3)
+    counts = membership_counts(comms, g.num_vertices)
+    assert counts.max() >= 1
+    assert counts[2] == len([c for c in comms if c.contains_vertex(2)])

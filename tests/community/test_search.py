@@ -1,0 +1,152 @@
+"""Community search: indexed results equal online ground truth equal TCP."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.community import TCPIndex, online_communities, search_communities
+from repro.community.model import as_edge_set_family
+from repro.equitruss import build_index
+from repro.errors import InvalidParameterError
+from repro.graph import CSRGraph
+from repro.graph.generators import (
+    complete_graph,
+    erdos_renyi_gnm,
+    paper_example_graph,
+    planted_community_graph,
+    rmat_graph,
+)
+
+
+@pytest.fixture(scope="module")
+def paper():
+    g = CSRGraph.from_edgelist(paper_example_graph())
+    return g, build_index(g, "afforest").index
+
+
+def test_paper_example_queries(paper):
+    g, index = paper
+    # vertex 5, k=4: one community (nu3 alone; nu4 is reachable only
+    # through... nu3-nu4 superedge has min trussness 4 -> included)
+    comms = search_communities(index, 5, 4)
+    online = online_communities(g, 5, 4)
+    assert as_edge_set_family(comms) == as_edge_set_family(online)
+    # vertex 0, k=5: vertex 0 touches no 5-truss edge
+    assert search_communities(index, 0, 5) == []
+    # vertex 6, k=5: exactly the K5
+    (c5,) = search_communities(index, 6, 5)
+    assert c5.num_edges == 10
+    assert set(c5.vertices().tolist()) == {6, 7, 8, 9, 10}
+
+
+def test_overlapping_membership(paper):
+    g, index = paper
+    # vertex 2 at k=3 may belong to several communities; compare with online
+    comms = search_communities(index, 2, 3)
+    online = online_communities(g, 2, 3)
+    assert as_edge_set_family(comms) == as_edge_set_family(online)
+    assert all(c.contains_vertex(2) for c in comms)
+
+
+@pytest.mark.parametrize("k", [3, 4, 5])
+def test_paper_example_all_vertices_all_ks(paper, k):
+    g, index = paper
+    tcp = TCPIndex(g)
+    for q in range(g.num_vertices):
+        indexed = as_edge_set_family(search_communities(index, q, k))
+        online = as_edge_set_family(online_communities(g, q, k))
+        viatcp = as_edge_set_family(tcp.query(q, k))
+        assert indexed == online, (q, k)
+        assert viatcp == online, (q, k)
+
+
+def test_random_graphs_indexed_equals_online():
+    for seed in range(3):
+        g = CSRGraph.from_edgelist(erdos_renyi_gnm(35, 160, seed=seed))
+        index = build_index(g, "coptimal").index
+        ks = np.unique(index.trussness)
+        for k in ks[ks >= 3].tolist():
+            for q in range(0, g.num_vertices, 7):
+                assert as_edge_set_family(
+                    search_communities(index, q, k)
+                ) == as_edge_set_family(online_communities(g, q, k)), (seed, k, q)
+
+
+def test_tcp_index_random_graph():
+    g = CSRGraph.from_edgelist(erdos_renyi_gnm(25, 110, seed=9))
+    tcp = TCPIndex(g)
+    index = build_index(g, "afforest").index
+    for q in range(0, g.num_vertices, 3):
+        for k in (3, 4):
+            assert as_edge_set_family(tcp.query(q, k)) == as_edge_set_family(
+                online_communities(g, q, k)
+            ), (q, k)
+    assert search_communities(index, 0, 3) is not None  # smoke
+
+
+def test_planted_communities_recovered():
+    edges, comms = planted_community_graph(3, 7, 7, p_intra=1.0, overlap=0, seed=2)
+    g = CSRGraph.from_edgelist(edges)
+    index = build_index(g, "afforest").index
+    member = int(comms[1][0])
+    (found,) = search_communities(index, member, 7)
+    assert set(found.vertices().tolist()) == set(comms[1].tolist())
+
+
+def test_query_candidate_ks(paper):
+    from repro.community.search import query_candidate_ks
+
+    g, index = paper
+    assert query_candidate_ks(index, 6).tolist() == [3, 4, 5]
+    assert query_candidate_ks(index, 0).tolist() == [3, 4]
+
+
+def test_validation_errors(paper):
+    g, index = paper
+    with pytest.raises(InvalidParameterError):
+        search_communities(index, 0, 2)
+    with pytest.raises(InvalidParameterError):
+        online_communities(g, 0, 2)
+    with pytest.raises(InvalidParameterError):
+        online_communities(g, 99, 3)
+    tcp = TCPIndex(g)
+    with pytest.raises(InvalidParameterError):
+        tcp.query(0, 2)
+    with pytest.raises(InvalidParameterError):
+        tcp.query(99, 3)
+
+
+def test_no_communities_in_sparse_graph():
+    g = CSRGraph.from_edgelist(erdos_renyi_gnm(30, 15, seed=1))
+    index = build_index(g, "afforest").index
+    assert search_communities(index, 0, 3) == []
+    assert online_communities(g, 0, 3) == []
+
+
+@settings(max_examples=15, deadline=None)
+@given(
+    n=st.integers(min_value=5, max_value=18),
+    data=st.data(),
+)
+def test_property_indexed_equals_online(n, data):
+    max_m = n * (n - 1) // 2
+    m = data.draw(st.integers(min_value=0, max_value=max_m))
+    seed = data.draw(st.integers(min_value=0, max_value=2**31 - 1))
+    q = data.draw(st.integers(min_value=0, max_value=n - 1))
+    k = data.draw(st.integers(min_value=3, max_value=6))
+    g = CSRGraph.from_edgelist(erdos_renyi_gnm(n, m, seed=seed))
+    index = build_index(g, "baseline").index
+    assert as_edge_set_family(search_communities(index, q, k)) == as_edge_set_family(
+        online_communities(g, q, k)
+    )
+
+
+def test_community_model_helpers():
+    g = CSRGraph.from_edgelist(complete_graph(5))
+    index = build_index(g, "afforest").index
+    (c,) = search_communities(index, 0, 5)
+    assert c.num_vertices == 5
+    assert c.contains_vertex(4)
+    assert not c.contains_vertex(0) or c.contains_vertex(0)
+    assert len(c.edge_tuples()) == 10

@@ -1,0 +1,134 @@
+"""Unit + property tests for k-core decomposition and search."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core_decomp import (
+    core_decomposition,
+    core_decomposition_serial,
+    k_core_vertex_mask,
+    kcore_community,
+)
+from repro.errors import InvalidParameterError
+from repro.graph import CSRGraph, build_graph
+from repro.graph.generators import (
+    complete_graph,
+    cycle_graph,
+    erdos_renyi_gnm,
+    path_graph,
+    rmat_graph,
+    star_graph,
+)
+
+
+def graph_of(edges):
+    return CSRGraph.from_edgelist(edges)
+
+
+def test_path_coreness():
+    d = core_decomposition(graph_of(path_graph(6)))
+    assert np.all(d.coreness == 1)
+
+
+def test_cycle_coreness():
+    d = core_decomposition(graph_of(cycle_graph(6)))
+    assert np.all(d.coreness == 2)
+
+
+def test_star_coreness():
+    d = core_decomposition(graph_of(star_graph(8)))
+    assert np.all(d.coreness == 1)
+
+
+def test_complete_graph_coreness():
+    for n in (2, 4, 7):
+        d = core_decomposition(graph_of(complete_graph(n)))
+        assert np.all(d.coreness == n - 1)
+        assert d.degeneracy == n - 1
+
+
+def test_isolated_vertices():
+    g = build_graph([0], [1], num_vertices=4)
+    d = core_decomposition(g)
+    assert d.coreness.tolist() == [1, 1, 0, 0]
+
+
+def test_serial_matches_vectorized():
+    for seed in range(5):
+        g = graph_of(erdos_renyi_gnm(50, 160, seed=seed))
+        a = core_decomposition(g)
+        b = core_decomposition_serial(g)
+        assert np.array_equal(a.coreness, b.coreness)
+
+
+def test_matches_networkx():
+    nx = pytest.importorskip("networkx")
+    g = graph_of(rmat_graph(8, 5, seed=4))
+    ours = core_decomposition(g).coreness
+    theirs = nx.core_number(g.to_networkx())
+    for v in range(g.num_vertices):
+        assert ours[v] == theirs[v]
+
+
+def test_core_sizes_partition():
+    g = graph_of(erdos_renyi_gnm(60, 200, seed=2))
+    d = core_decomposition(g)
+    assert sum(d.core_sizes().values()) == int((d.coreness >= 1).sum())
+
+
+def test_k_core_mask_validation():
+    d = core_decomposition(graph_of(complete_graph(3)))
+    with pytest.raises(InvalidParameterError):
+        k_core_vertex_mask(d, -1)
+    assert k_core_vertex_mask(d, 2).all()
+
+
+@settings(max_examples=25, deadline=None)
+@given(seed=st.integers(min_value=0, max_value=10**6))
+def test_property_kcore_definition(seed):
+    """Every vertex of the τ ≥ k core has in-core degree ≥ k (k-core
+    property) and the mask is maximal (serial agrees)."""
+    g = graph_of(erdos_renyi_gnm(25, 70, seed=seed))
+    d = core_decomposition(g)
+    assert np.array_equal(d.coreness, core_decomposition_serial(g).coreness)
+    for k in range(1, d.degeneracy + 1):
+        mask = k_core_vertex_mask(d, k)
+        if not mask.any():
+            continue
+        for v in np.flatnonzero(mask).tolist():
+            in_core = sum(1 for w in g.neighbors(v) if mask[w])
+            assert in_core >= k
+
+
+def test_kcore_community_basic():
+    # K4 with a pendant: pendant excluded from the 2-core community
+    g = build_graph([0, 0, 0, 1, 1, 2, 3], [1, 2, 3, 2, 3, 3, 4])
+    c = kcore_community(g, 0, 3)
+    assert c is not None
+    assert set(c.vertices().tolist()) == {0, 1, 2, 3}
+    assert kcore_community(g, 4, 3) is None
+
+
+def test_kcore_community_validation():
+    g = graph_of(complete_graph(4))
+    with pytest.raises(InvalidParameterError):
+        kcore_community(g, 0, 0)
+    with pytest.raises(InvalidParameterError):
+        kcore_community(g, 9, 1)
+
+
+def test_kcore_weak_cohesion_vs_ktruss():
+    """The paper's motivating contrast: two K4s joined by a 2-path are
+    one 2-core community but two separate 3-truss communities."""
+    src = [0, 0, 0, 1, 1, 2, 3, 4, 5, 5, 5, 6, 6, 7]
+    dst = [1, 2, 3, 2, 3, 3, 4, 5, 6, 7, 8, 7, 8, 8]
+    g = build_graph(src, dst)
+    core_comm = kcore_community(g, 0, 2)
+    assert 4 in core_comm.vertices()  # the bridge vertex chains in
+    from repro.community import online_communities
+
+    truss_comms = online_communities(g, 0, 4)
+    assert len(truss_comms) == 1
+    assert 4 not in truss_comms[0].vertices()  # k-truss excludes the bridge

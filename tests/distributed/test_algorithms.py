@@ -1,0 +1,111 @@
+"""Distributed CC / triangle algorithms match single-node ground truth."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.distributed import (
+    distributed_components,
+    distributed_support,
+    distributed_triangle_count,
+    partition_edges,
+)
+from repro.distributed.partition import VertexOwnership
+from repro.errors import InvalidParameterError
+from repro.graph import CSRGraph
+from repro.graph.generators import complete_graph, erdos_renyi_gnm, rmat_graph
+from repro.triangles import enumerate_triangles
+
+
+def test_vertex_ownership_covers_all():
+    own = VertexOwnership(17, 4)
+    seen = []
+    for r in range(4):
+        lo, hi = own.owned_range(r)
+        seen.extend(range(lo, hi))
+        owners = own.owner_of(np.arange(lo, hi))
+        assert np.all(owners == r)
+    assert seen == list(range(17))
+
+
+def test_partition_edges_covers_all():
+    edges = erdos_renyi_gnm(40, 150, seed=1)
+    for strategy in ("owner", "hash"):
+        parts = partition_edges(edges, 4, strategy=strategy)
+        all_ids = np.sort(np.concatenate([p.edge_ids for p in parts]))
+        assert np.array_equal(all_ids, np.arange(edges.num_edges))
+    with pytest.raises(InvalidParameterError):
+        partition_edges(edges, 3, strategy="quantum")
+
+
+@pytest.mark.parametrize("ranks", [1, 2, 4])
+@pytest.mark.parametrize("strategy", ["owner", "hash"])
+def test_distributed_cc_matches_scipy(ranks, strategy):
+    import scipy.sparse.csgraph as csgraph
+
+    edges = erdos_renyi_gnm(60, 50, seed=5)
+    labels, stats = distributed_components(edges, ranks, strategy=strategy)
+    g = CSRGraph.from_edgelist(edges)
+    ncomp, ref = csgraph.connected_components(g.to_scipy(), directed=False)
+    # same partition
+    mapping = {}
+    for ours, theirs in zip(labels.tolist(), ref.tolist()):
+        assert mapping.setdefault(theirs, ours) == ours
+    assert len(set(labels.tolist())) == ncomp
+
+
+def test_distributed_cc_labels_are_min_reachable():
+    edges = erdos_renyi_gnm(30, 25, seed=2)
+    labels, _ = distributed_components(edges, 3)
+    for comp in set(labels.tolist()):
+        members = np.flatnonzero(labels == comp)
+        assert members.min() == comp
+
+
+@pytest.mark.parametrize("ranks", [1, 2, 3, 5])
+def test_distributed_triangle_count(ranks):
+    edges = rmat_graph(7, 6, seed=3)
+    expected = enumerate_triangles(CSRGraph.from_edgelist(edges)).count
+    count, stats = distributed_triangle_count(edges, ranks)
+    assert count == expected
+    if ranks > 1:
+        assert stats.bytes > 0
+
+
+@pytest.mark.parametrize("ranks", [1, 2, 4])
+def test_distributed_support(ranks):
+    edges = erdos_renyi_gnm(40, 180, seed=7)
+    expected = enumerate_triangles(CSRGraph.from_edgelist(edges)).support()
+    sup, _ = distributed_support(edges, ranks)
+    assert np.array_equal(sup, expected)
+
+
+def test_distributed_on_complete_graph():
+    edges = complete_graph(12)
+    count, _ = distributed_triangle_count(edges, 3)
+    assert count == 12 * 11 * 10 // 6
+    labels, _ = distributed_components(edges, 3)
+    assert np.all(labels == 0)
+
+
+def test_communication_grows_with_ranks():
+    edges = rmat_graph(8, 6, seed=9)
+    _, s2 = distributed_triangle_count(edges, 2)
+    _, s6 = distributed_triangle_count(edges, 6)
+    assert s6.bytes > s2.bytes
+
+
+@settings(max_examples=10, deadline=None)
+@given(
+    seed=st.integers(min_value=0, max_value=10**6),
+    ranks=st.integers(min_value=1, max_value=5),
+)
+def test_property_distributed_matches_local(seed, ranks):
+    edges = erdos_renyi_gnm(22, 70, seed=seed)
+    g = CSRGraph.from_edgelist(edges)
+    tri = enumerate_triangles(g)
+    count, _ = distributed_triangle_count(edges, ranks)
+    assert count == tri.count
+    sup, _ = distributed_support(edges, ranks)
+    assert np.array_equal(sup, tri.support())

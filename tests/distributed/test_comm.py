@@ -1,0 +1,122 @@
+"""Unit tests for the SPMD communicator."""
+
+import numpy as np
+import pytest
+
+from repro.distributed import SimComm, run_spmd
+from repro.errors import BackendError, InvalidParameterError
+
+
+def test_send_recv_pairs():
+    def fn(comm):
+        peer = (comm.rank + 1) % comm.size
+        comm.send(peer, {"from": comm.rank})
+        src = (comm.rank - 1) % comm.size
+        return comm.recv(src)["from"]
+
+    results, stats = run_spmd(4, fn)
+    assert results == [3, 0, 1, 2]
+    assert stats.messages >= 4
+    assert stats.bytes > 0
+
+
+def test_tag_mismatch_raises():
+    def fn(comm):
+        if comm.rank == 0:
+            comm.send(1, "x", tag=7)
+        elif comm.rank == 1:
+            comm.recv(0, tag=8)
+
+    with pytest.raises(BackendError, match="tag"):
+        run_spmd(2, fn)
+
+
+def test_recv_timeout():
+    def fn(comm):
+        if comm.rank == 1:
+            comm.recv(0, timeout=0.05)
+
+    with pytest.raises(BackendError, match="timed out"):
+        run_spmd(2, fn)
+
+
+def test_allgather():
+    results, _ = run_spmd(3, lambda comm: comm.allgather(comm.rank * 10))
+    assert results == [[0, 10, 20]] * 3
+
+
+def test_bcast():
+    def fn(comm):
+        return comm.bcast("hello" if comm.rank == 1 else None, root=1)
+
+    results, _ = run_spmd(3, fn)
+    assert results == ["hello"] * 3
+
+
+def test_alltoall():
+    def fn(comm):
+        outgoing = [f"{comm.rank}->{dst}" for dst in range(comm.size)]
+        return comm.alltoall(outgoing)
+
+    results, _ = run_spmd(3, fn)
+    assert results[1] == ["0->1", "1->1", "2->1"]
+
+
+def test_alltoall_size_validation():
+    def fn(comm):
+        comm.alltoall([1])  # wrong length
+
+    with pytest.raises(InvalidParameterError):
+        run_spmd(2, fn)
+
+
+@pytest.mark.parametrize(
+    "op,expected", [("sum", 0 + 1 + 2 + 3), ("min", 0), ("max", 3)]
+)
+def test_allreduce_scalar(op, expected):
+    results, _ = run_spmd(4, lambda comm: comm.allreduce(comm.rank, op=op))
+    assert results == [expected] * 4
+
+
+def test_allreduce_array_and_lor():
+    def fn(comm):
+        arr = np.full(3, comm.rank, dtype=np.int64)
+        summed = comm.allreduce(arr, op="sum")
+        flag = comm.allreduce(comm.rank == 2, op="lor")
+        return summed.tolist(), flag
+
+    results, _ = run_spmd(3, fn)
+    assert all(r == ([3, 3, 3], True) for r in results)
+
+
+def test_allreduce_unknown_op():
+    with pytest.raises(InvalidParameterError):
+        run_spmd(2, lambda comm: comm.allreduce(1, op="xor"))
+
+
+def test_rank_exception_propagates():
+    def fn(comm):
+        if comm.rank == 1:
+            raise ValueError("rank 1 boom")
+        comm.barrier()
+
+    with pytest.raises(ValueError, match="rank 1 boom"):
+        run_spmd(3, fn)
+
+
+def test_bad_peer_validation():
+    def fn(comm):
+        comm.send(99, "x")
+
+    with pytest.raises(InvalidParameterError):
+        run_spmd(2, fn)
+
+
+def test_collectives_counted():
+    def fn(comm):
+        comm.allgather(1)
+        comm.bcast(2, root=0)
+        return None
+
+    _, stats = run_spmd(2, fn)
+    assert stats.collectives >= 4  # 2 ranks x 2 collectives

@@ -1,0 +1,66 @@
+"""Distributed truss decomposition matches the single-node peeling."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.distributed.truss import distributed_truss_decomposition
+from repro.graph import CSRGraph
+from repro.graph.generators import (
+    complete_graph,
+    erdos_renyi_gnm,
+    paper_example_graph,
+    path_graph,
+    rmat_graph,
+)
+from repro.truss import truss_decomposition
+
+
+@pytest.mark.parametrize("ranks", [1, 2, 3, 5])
+def test_matches_single_node(ranks):
+    g = CSRGraph.from_edgelist(rmat_graph(7, 6, seed=2))
+    expected = truss_decomposition(g).trussness
+    dec, stats = distributed_truss_decomposition(g.edges, ranks)
+    assert np.array_equal(dec.trussness, expected)
+    if ranks > 1:
+        assert stats.bytes > 0
+
+
+def test_paper_example():
+    g = CSRGraph.from_edgelist(paper_example_graph())
+    dec, _ = distributed_truss_decomposition(g.edges, 3)
+    assert np.array_equal(dec.trussness, truss_decomposition(g).trussness)
+
+
+def test_triangle_free():
+    g = CSRGraph.from_edgelist(path_graph(8))
+    dec, _ = distributed_truss_decomposition(g.edges, 2)
+    assert np.all(dec.trussness == 2)
+
+
+def test_complete_graph():
+    g = CSRGraph.from_edgelist(complete_graph(7))
+    dec, _ = distributed_truss_decomposition(g.edges, 4)
+    assert np.all(dec.trussness == 7)
+
+
+def test_precomputed_triangles_reused():
+    from repro.triangles import enumerate_triangles
+
+    g = CSRGraph.from_edgelist(erdos_renyi_gnm(30, 140, seed=3))
+    tri = enumerate_triangles(g)
+    dec, _ = distributed_truss_decomposition(g.edges, 2, triangles=tri)
+    assert np.array_equal(dec.trussness, truss_decomposition(g).trussness)
+    assert np.array_equal(dec.support, tri.support())
+
+
+@settings(max_examples=10, deadline=None)
+@given(
+    seed=st.integers(min_value=0, max_value=10**6),
+    ranks=st.integers(min_value=1, max_value=4),
+)
+def test_property_distributed_truss(seed, ranks):
+    g = CSRGraph.from_edgelist(erdos_renyi_gnm(18, 60, seed=seed))
+    dec, _ = distributed_truss_decomposition(g.edges, ranks)
+    assert np.array_equal(dec.trussness, truss_decomposition(g).trussness)

@@ -1,0 +1,145 @@
+"""Dynamic index maintenance equals full rebuild after every update."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.equitruss import build_index
+from repro.equitruss.dynamic import DynamicEquiTruss
+from repro.equitruss.verify import verify_index_semantics
+from repro.errors import EdgeNotFoundError
+from repro.graph import CSRGraph, build_edgelist
+from repro.graph.generators import (
+    complete_graph,
+    erdos_renyi_gnm,
+    paper_example_graph,
+)
+
+
+def rebuilt(graph):
+    return build_index(graph, "afforest").index
+
+
+def assert_matches_rebuild(dyn):
+    ref = rebuilt(dyn.graph)
+    assert dyn.index == ref
+    verify_index_semantics(dyn.graph, dyn.index)
+
+
+def test_insert_creates_new_triangles():
+    g = CSRGraph.from_edgelist(paper_example_graph())
+    dyn = DynamicEquiTruss(g)
+    # connect vertex 1 to 4 and 5: creates triangles with K4 {3,4,5,6}
+    stats = dyn.insert_edges([1, 1], [4, 5])
+    assert stats.num_inserted == 2
+    assert_matches_rebuild(dyn)
+
+
+def test_insert_duplicate_edge_is_noop_structurally():
+    g = CSRGraph.from_edgelist(paper_example_graph())
+    dyn = DynamicEquiTruss(g)
+    before = dyn.index
+    stats = dyn.insert_edges([0], [1])  # already present
+    assert stats.num_inserted == 0
+    assert dyn.index == before
+
+
+def test_insert_new_vertex():
+    g = CSRGraph.from_edgelist(complete_graph(4))
+    dyn = DynamicEquiTruss(g)
+    dyn.insert_edges([0, 1, 4], [4, 4, 2])
+    assert dyn.graph.num_vertices == 5
+    assert_matches_rebuild(dyn)
+
+
+def test_insert_bridges_two_components():
+    # two disjoint K4s joined by new edges into shared triangles
+    a = complete_graph(4)
+    src = np.concatenate([a.u, a.u + 4])
+    dst = np.concatenate([a.v, a.v + 4])
+    g = CSRGraph.from_edgelist(build_edgelist(src, dst, num_vertices=8))
+    dyn = DynamicEquiTruss(g)
+    dyn.insert_edges([3, 3, 2], [4, 5, 4])
+    assert_matches_rebuild(dyn)
+    assert dyn.last_update.affected_edges > 3
+
+
+def test_remove_edge_splits_supernode():
+    g = CSRGraph.from_edgelist(paper_example_graph())
+    dyn = DynamicEquiTruss(g)
+    stats = dyn.remove_edges([6], [10])  # weaken the K5
+    assert stats.num_removed == 1
+    assert_matches_rebuild(dyn)
+
+
+def test_remove_missing_edge_raises():
+    g = CSRGraph.from_edgelist(complete_graph(4))
+    dyn = DynamicEquiTruss(g)
+    with pytest.raises(EdgeNotFoundError):
+        dyn.remove_edges([0], [9])
+
+
+def test_remove_triangle_free_edge():
+    g = CSRGraph.from_edgelist(build_edgelist([0, 0, 1, 2], [1, 2, 2, 3]))
+    dyn = DynamicEquiTruss(g)
+    dyn.remove_edges([2], [3])
+    assert_matches_rebuild(dyn)
+
+
+def test_mixed_update_sequence():
+    g = CSRGraph.from_edgelist(erdos_renyi_gnm(25, 90, seed=4))
+    dyn = DynamicEquiTruss(g, variant="coptimal")
+    rng = np.random.default_rng(1)
+    for step in range(4):
+        if step % 2 == 0:
+            us = rng.integers(0, 25, size=3)
+            vs = rng.integers(0, 25, size=3)
+            keep = us != vs
+            if keep.any():
+                dyn.insert_edges(us[keep], vs[keep])
+        else:
+            e = rng.integers(0, dyn.graph.num_edges)
+            dyn.remove_edges(
+                [int(dyn.graph.edges.u[e])], [int(dyn.graph.edges.v[e])]
+            )
+        assert_matches_rebuild(dyn)
+
+
+def test_affected_fraction_is_local_for_disjoint_update():
+    # two far-apart cliques; touching one leaves the other's edges alone
+    a = complete_graph(6)
+    src = np.concatenate([a.u, a.u + 6])
+    dst = np.concatenate([a.v, a.v + 6])
+    g = CSRGraph.from_edgelist(build_edgelist(src, dst, num_vertices=12))
+    dyn = DynamicEquiTruss(g)
+    stats = dyn.remove_edges([0], [1])
+    # only the first clique's component recomputes
+    assert stats.affected_edges <= a.num_edges
+    assert stats.affected_fraction < 0.6
+    assert_matches_rebuild(dyn)
+
+
+@settings(max_examples=12, deadline=None)
+@given(
+    seed=st.integers(min_value=0, max_value=10**6),
+    data=st.data(),
+)
+def test_property_updates_match_rebuild(seed, data):
+    g = CSRGraph.from_edgelist(erdos_renyi_gnm(14, 40, seed=seed))
+    dyn = DynamicEquiTruss(g)
+    rng = np.random.default_rng(seed)
+    for _ in range(2):
+        if data.draw(st.booleans()) or dyn.graph.num_edges == 0:
+            us = rng.integers(0, 14, size=2)
+            vs = rng.integers(0, 14, size=2)
+            keep = us != vs
+            if not keep.any():
+                continue
+            dyn.insert_edges(us[keep], vs[keep])
+        else:
+            e = int(rng.integers(0, dyn.graph.num_edges))
+            dyn.remove_edges(
+                [int(dyn.graph.edges.u[e])], [int(dyn.graph.edges.v[e])]
+            )
+        assert_matches_rebuild(dyn)

@@ -1,0 +1,108 @@
+"""Unit tests for per-level hook/superedge tables."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.equitruss.levels import build_level_structures, triangle_tables
+from repro.equitruss.variants import recompute_level_tables
+from repro.errors import InvalidParameterError
+from repro.graph import CSRGraph
+from repro.graph.generators import complete_graph, erdos_renyi_gnm, paper_example_graph
+from repro.triangles import enumerate_triangles
+from repro.truss import truss_decomposition
+
+
+def prepared(edges):
+    g = CSRGraph.from_edgelist(edges)
+    tri = enumerate_triangles(g)
+    dec = truss_decomposition(g, triangles=tri)
+    return g, tri, dec
+
+
+def test_k4_single_level():
+    g, tri, dec = prepared(complete_graph(4))
+    levels = build_level_structures(tri, dec.trussness)
+    assert levels.levels.tolist() == [4]
+    a, b = levels.hook_pairs(4)
+    # 4 triangles x 3 same-k pairs each
+    assert a.size == 12
+    assert levels.superedge_candidates(4)[0].size == 0
+    assert levels.num_superedge_candidates == 0
+
+
+def test_paper_example_levels():
+    g, tri, dec = prepared(paper_example_graph())
+    levels = build_level_structures(tri, dec.trussness)
+    assert levels.levels.tolist() == [3, 4, 5]
+    tau = dec.trussness
+    for k in (3, 4, 5):
+        a, b = levels.hook_pairs(k)
+        # hook pairs join equal-trussness edges at their own level
+        assert np.all(tau[a] == k) and np.all(tau[b] == k)
+        lo, hi = levels.superedge_candidates(k)
+        # candidates are emitted at the *high* edge's level
+        assert np.all(tau[hi] == k)
+        assert np.all(tau[lo] < k)
+
+
+def test_hook_pairs_require_third_edge_at_level():
+    # triangle with trussness pattern (3, 4, 4): the two 4-edges must NOT
+    # hook through it (the triangle is outside the 4-truss)
+    g, tri, dec = prepared(paper_example_graph())
+    levels = build_level_structures(tri, dec.trussness)
+    tau = dec.trussness
+    a, b = levels.hook_pairs(4)
+    eid_03 = g.edges.edge_id(0, 3)   # tau 4
+    eid_34 = g.edges.edge_id(3, 4)   # tau 4
+    # (0,3)-(3,4) share only triangle (0,3,4) whose third edge (0,4) has tau 3
+    pairs = set(zip(a.tolist(), b.tolist())) | set(zip(b.tolist(), a.tolist()))
+    assert (eid_03, eid_34) not in pairs
+
+
+def test_triangle_tables_validation():
+    g, tri, dec = prepared(complete_graph(4))
+    with pytest.raises(InvalidParameterError):
+        triangle_tables(tri, dec.trussness[:-1])
+
+
+def test_adjacency_only_when_requested():
+    g, tri, dec = prepared(complete_graph(5))
+    plain = build_level_structures(tri, dec.trussness)
+    with pytest.raises(InvalidParameterError):
+        plain.adjacency_arrays()
+    with_adj = build_level_structures(tri, dec.trussness, with_adjacency=True)
+    indptr, nbrs = with_adj.adjacency_arrays()
+    assert indptr.size == g.num_edges + 1
+    assert nbrs.size == 2 * with_adj.num_hook_pairs
+
+
+def test_adjacency_joins_only_same_trussness():
+    g, tri, dec = prepared(erdos_renyi_gnm(30, 140, seed=3))
+    levels = build_level_structures(tri, dec.trussness, with_adjacency=True)
+    indptr, nbrs = levels.adjacency_arrays()
+    tau = dec.trussness
+    for e in range(g.num_edges):
+        for other in nbrs[indptr[e] : indptr[e + 1]]:
+            assert tau[e] == tau[other]
+
+
+@settings(max_examples=20, deadline=None)
+@given(seed=st.integers(min_value=0, max_value=10**6))
+def test_property_recomputed_tables_match_prebuilt(seed):
+    """Baseline's per-level recomputation derives the same pair sets as
+    the C-Optimal prebuilt tables (as multisets of unordered pairs up to
+    the Baseline's double-visit duplicates)."""
+    g, tri, dec = prepared(erdos_renyi_gnm(18, 70, seed=seed))
+    levels = build_level_structures(tri, dec.trussness)
+    for k in levels.levels.tolist():
+        pa, pb = levels.hook_pairs(k)
+        want = {frozenset((int(x), int(y))) for x, y in zip(pa, pb)}
+        ra, rb, rlo, rhi = recompute_level_tables(g, dec.trussness, k)
+        got = {frozenset((int(x), int(y))) for x, y in zip(ra, rb)}
+        assert got == want, k
+        slo, shi = levels.superedge_candidates(k)
+        want_se = set(zip(slo.tolist(), shi.tolist()))
+        got_se = set(zip(rlo.tolist(), rhi.tolist()))
+        assert got_se == want_se, k

@@ -1,0 +1,66 @@
+"""Unit tests for superedge generation and the Algorithm-4 merge."""
+
+import numpy as np
+import pytest
+
+from repro.equitruss.merge import generate_superedges, merge_supergraph
+from repro.errors import InvalidParameterError
+
+
+def test_generate_empty_level_keeps_shape():
+    comp = np.arange(10, dtype=np.int64)
+    subsets = generate_superedges(comp, np.empty(0, np.int64), np.empty(0, np.int64), 3)
+    assert len(subsets) == 3
+    assert all(s == [] for s in subsets)
+
+
+def test_generate_resolves_roots_and_dedups_locally():
+    comp = np.array([0, 0, 2, 2, 4], dtype=np.int64)
+    se_lo = np.array([1, 0, 1], dtype=np.int64)  # all root 0
+    se_hi = np.array([3, 2, 2], dtype=np.int64)  # all root 2
+    subsets = generate_superedges(comp, se_lo, se_hi, num_workers=1)
+    (arr,) = subsets[0]
+    # three candidates collapse into one local (0, 2) pair
+    assert arr.tolist() == [[0, 2]]
+
+
+def test_generate_accumulates_across_levels():
+    comp = np.arange(6, dtype=np.int64)
+    subsets = generate_superedges(comp, np.array([0]), np.array([1]), 2)
+    subsets = generate_superedges(comp, np.array([2]), np.array([3]), 2, subsets)
+    total = sum(len(s) for s in subsets)
+    assert total == 2
+
+
+def test_generate_validates_workers():
+    comp = np.arange(3, dtype=np.int64)
+    with pytest.raises(InvalidParameterError):
+        generate_superedges(comp, np.array([0]), np.array([1]), num_workers=0)
+
+
+def test_merge_empty():
+    assert merge_supergraph([]).shape == (0, 2)
+    assert merge_supergraph([[], []]).shape == (0, 2)
+
+
+def test_merge_dedups_across_workers():
+    a = np.array([[1, 5], [2, 7]], dtype=np.int64)
+    b = np.array([[5, 1], [3, 9]], dtype=np.int64)  # (5,1) duplicates (1,5)
+    merged = merge_supergraph([[a], [b]], num_workers=2)
+    assert sorted(map(tuple, merged.tolist())) == [(1, 5), (2, 7), (3, 9)]
+
+
+def test_merge_canonicalizes_order():
+    a = np.array([[9, 2]], dtype=np.int64)
+    merged = merge_supergraph([[a]], num_workers=1)
+    assert merged.tolist() == [[2, 9]]
+
+
+def test_merge_worker_count_invariance():
+    rng = np.random.default_rng(0)
+    pairs = rng.integers(0, 50, size=(500, 2)).astype(np.int64)
+    pairs = pairs[pairs[:, 0] != pairs[:, 1]]
+    ref = merge_supergraph([[pairs]], num_workers=1)
+    for workers in (2, 3, 8, 16):
+        out = merge_supergraph([[pairs]], num_workers=workers)
+        assert np.array_equal(out, ref)

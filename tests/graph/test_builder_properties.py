@@ -1,0 +1,54 @@
+"""Property-based canonicalization invariants of the builder."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graph import CSRGraph, build_edgelist
+
+pairs = st.lists(
+    st.tuples(st.integers(0, 30), st.integers(0, 30)), min_size=0, max_size=120
+)
+
+
+@settings(max_examples=60, deadline=None)
+@given(raw=pairs)
+def test_builder_canonical_invariants(raw):
+    src = np.array([a for a, _ in raw], dtype=np.int64)
+    dst = np.array([b for _, b in raw], dtype=np.int64)
+    edges = build_edgelist(src, dst)
+    # canonical: u < v, strictly sorted keys (no duplicates)
+    assert np.all(edges.u < edges.v)
+    keys = edges.keys
+    assert np.all(np.diff(keys) > 0) if keys.size > 1 else True
+    # set semantics: exactly the distinct non-loop undirected pairs
+    expected = {(min(a, b), max(a, b)) for a, b in raw if a != b}
+    assert set(edges.as_tuples()) == expected
+
+
+@settings(max_examples=30, deadline=None)
+@given(raw=pairs)
+def test_builder_order_invariance(raw):
+    src = np.array([a for a, _ in raw], dtype=np.int64)
+    dst = np.array([b for _, b in raw], dtype=np.int64)
+    n = int(max(src.max(initial=0), dst.max(initial=0)) + 1) if src.size else 0
+    forward = build_edgelist(src, dst, num_vertices=n)
+    reversed_ = build_edgelist(dst[::-1], src[::-1], num_vertices=n)
+    assert forward == reversed_
+
+
+@settings(max_examples=30, deadline=None)
+@given(raw=pairs)
+def test_csr_roundtrip_preserves_edges(raw):
+    src = np.array([a for a, _ in raw], dtype=np.int64)
+    dst = np.array([b for _, b in raw], dtype=np.int64)
+    edges = build_edgelist(src, dst)
+    g = CSRGraph.from_edgelist(edges)
+    # reconstruct the edge set from CSR adjacency
+    rebuilt = set()
+    for u in range(g.num_vertices):
+        for w in g.neighbors(u).tolist():
+            rebuilt.add((min(u, w), max(u, w)))
+    assert rebuilt == set(edges.as_tuples())
+    # degrees consistent between EdgeList and CSR
+    assert np.array_equal(g.degrees(), edges.degrees())

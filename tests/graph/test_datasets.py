@@ -1,0 +1,44 @@
+"""Unit tests for the synthetic dataset registry."""
+
+import pytest
+
+from repro.errors import InvalidParameterError
+from repro.graph.datasets import DATASETS, dataset_names, load_dataset, load_dataset_graph
+
+
+def test_names_in_paper_order():
+    assert dataset_names() == [
+        "amazon", "dblp", "youtube", "livejournal", "orkut", "friendster",
+    ]
+
+
+def test_unknown_name_raises():
+    with pytest.raises(InvalidParameterError):
+        load_dataset("nope")
+
+
+def test_small_datasets_generate_and_cache():
+    a = load_dataset("amazon")
+    b = load_dataset("amazon")
+    assert a is b  # memoized
+    assert a.num_edges > 0
+
+
+def test_relative_size_ordering():
+    sizes = [load_dataset(n).num_edges for n in ("amazon", "dblp", "youtube")]
+    assert sizes[0] < sizes[2]
+
+
+def test_scale_factor_grows():
+    small = load_dataset("amazon", scale_factor=0.5)
+    base = load_dataset("amazon")
+    assert small.num_vertices < base.num_vertices
+
+
+def test_graph_loader():
+    g = load_dataset_graph("amazon")
+    assert g.num_edges == load_dataset("amazon").num_edges
+
+
+def test_paper_reference_sizes_recorded():
+    assert DATASETS["friendster"].paper_edges == 1_806_067_135

@@ -1,0 +1,96 @@
+"""Unit tests for EdgeList and the canonicalizing builder."""
+
+import numpy as np
+import pytest
+
+from repro.errors import EdgeNotFoundError, GraphConstructionError
+from repro.graph import EdgeList, build_edgelist
+
+
+def test_build_canonicalizes_order_and_duplicates():
+    e = build_edgelist([1, 0, 2, 2], [0, 1, 1, 1])
+    assert e.num_edges == 2
+    assert e.as_tuples() == [(0, 1), (1, 2)]
+
+
+def test_build_removes_self_loops():
+    e = build_edgelist([0, 1, 1], [0, 1, 2])
+    assert e.as_tuples() == [(1, 2)]
+
+
+def test_build_empty():
+    e = build_edgelist([], [])
+    assert e.num_edges == 0
+    assert e.num_vertices == 0
+
+
+def test_build_respects_explicit_num_vertices():
+    e = build_edgelist([0], [1], num_vertices=10)
+    assert e.num_vertices == 10
+
+
+def test_constructor_rejects_unsorted():
+    with pytest.raises(GraphConstructionError):
+        EdgeList(np.array([1, 0]), np.array([2, 1]), 3)
+
+
+def test_constructor_rejects_noncanonical():
+    with pytest.raises(GraphConstructionError):
+        EdgeList(np.array([2]), np.array([1]), 3)
+
+
+def test_constructor_rejects_out_of_range():
+    with pytest.raises(GraphConstructionError):
+        EdgeList(np.array([0]), np.array([5]), 3)
+
+
+def test_edge_id_lookup_both_orders():
+    e = build_edgelist([0, 0, 1], [1, 2, 2])
+    assert e.edge_id(0, 1) == 0
+    assert e.edge_id(1, 0) == 0
+    assert e.edge_id(2, 1) == 2
+
+
+def test_edge_ids_batch_and_missing():
+    e = build_edgelist([0, 0, 1], [1, 2, 2])
+    ids = e.edge_ids(np.array([2, 0]), np.array([1, 2]))
+    assert ids.tolist() == [2, 1]
+    missing = e.edge_ids(np.array([0]), np.array([3]), strict=False)
+    assert missing.tolist() == [-1]
+    with pytest.raises(EdgeNotFoundError):
+        e.edge_ids(np.array([0]), np.array([3]))
+
+
+def test_has_edge():
+    e = build_edgelist([0], [1], num_vertices=3)
+    assert e.has_edge(1, 0)
+    assert not e.has_edge(0, 2)
+
+
+def test_endpoints_and_degrees():
+    e = build_edgelist([0, 0, 1], [1, 2, 2])
+    u, v = e.endpoints(np.array([0, 2]))
+    assert u.tolist() == [0, 1] and v.tolist() == [1, 2]
+    assert e.degrees().tolist() == [2, 2, 2]
+
+
+def test_subset_by_mask_and_ids():
+    e = build_edgelist([0, 0, 1], [1, 2, 2])
+    sub = e.subset(np.array([True, False, True]))
+    assert sub.as_tuples() == [(0, 1), (1, 2)]
+    sub2 = e.subset(np.array([2, 0]))
+    assert sub2.as_tuples() == [(0, 1), (1, 2)]
+
+
+def test_equality_and_hash():
+    a = build_edgelist([0], [1])
+    b = build_edgelist([1], [0])
+    assert a == b
+    assert hash(a) == hash(b)
+    assert a != build_edgelist([0, 1], [1, 2])
+
+
+def test_immutability():
+    e = build_edgelist([0], [1])
+    with pytest.raises(ValueError):
+        e.u[0] = 5

@@ -1,0 +1,105 @@
+"""Unit tests for graph generators."""
+
+import numpy as np
+import pytest
+
+from repro.errors import InvalidParameterError
+from repro.graph.generators import (
+    PAPER_EXAMPLE_SUPERNODES,
+    barabasi_albert_graph,
+    complete_graph,
+    cycle_graph,
+    empty_graph,
+    erdos_renyi_gnm,
+    paper_example_graph,
+    path_graph,
+    planted_community_graph,
+    rmat_graph,
+    star_graph,
+    watts_strogatz_graph,
+)
+
+
+def test_empty_path_cycle_star():
+    assert empty_graph(5).num_edges == 0
+    assert path_graph(5).num_edges == 4
+    assert cycle_graph(5).num_edges == 5
+    assert star_graph(5).num_edges == 4
+    with pytest.raises(InvalidParameterError):
+        cycle_graph(2)
+
+
+def test_complete_graph_edge_count():
+    for n in (0, 1, 2, 5, 8):
+        assert complete_graph(n).num_edges == n * (n - 1) // 2
+
+
+def test_erdos_renyi_exact_m_and_deterministic():
+    e1 = erdos_renyi_gnm(100, 250, seed=3)
+    e2 = erdos_renyi_gnm(100, 250, seed=3)
+    assert e1.num_edges == 250
+    assert e1 == e2
+    assert erdos_renyi_gnm(100, 250, seed=4) != e1
+
+
+def test_erdos_renyi_caps_at_complete():
+    e = erdos_renyi_gnm(5, 100, seed=0)
+    assert e.num_edges == 10
+
+
+def test_rmat_size_and_determinism():
+    e = rmat_graph(8, 4, seed=11)
+    assert e.num_vertices == 256
+    # dedup loses some edges but most survive
+    assert 0.5 * 4 * 256 < e.num_edges <= 4 * 256
+    assert e == rmat_graph(8, 4, seed=11)
+
+
+def test_rmat_skew():
+    e = rmat_graph(10, 8, seed=5)
+    deg = e.degrees()
+    # power-law-ish: max degree far above mean
+    assert deg.max() > 4 * deg.mean()
+
+
+def test_barabasi_albert():
+    e = barabasi_albert_graph(100, 3, seed=2)
+    assert e.num_vertices == 100
+    deg = e.degrees()
+    assert deg.min() >= 1
+    assert deg.max() > deg.mean() * 2
+
+
+def test_watts_strogatz():
+    e = watts_strogatz_graph(60, 4, 0.1, seed=1)
+    assert e.num_vertices == 60
+    assert e.num_edges <= 120
+    with pytest.raises(InvalidParameterError):
+        watts_strogatz_graph(10, 3, 0.1)
+
+
+def test_planted_communities_structure():
+    edges, comms = planted_community_graph(4, 6, 8, p_intra=1.0, overlap=2, seed=9)
+    assert len(comms) == 4
+    # consecutive communities share exactly `overlap` vertices
+    for a, b in zip(comms, comms[1:]):
+        assert np.intersect1d(a, b).size == 2
+    # p_intra=1 means each community is a clique
+    for c in comms:
+        k = c.size
+        sub = {
+            (min(x, y), max(x, y))
+            for x in c.tolist()
+            for y in c.tolist()
+            if x != y
+        }
+        present = set(edges.as_tuples())
+        assert sub <= present
+
+
+def test_paper_example_graph_shape():
+    e = paper_example_graph()
+    assert e.num_vertices == 11
+    assert e.num_edges == 27
+    all_edges = {edge for _, es in PAPER_EXAMPLE_SUPERNODES.values() for e2 in [es] for edge in e2}
+    assert set(e.as_tuples()) == all_edges

@@ -1,0 +1,47 @@
+"""Unit tests for graph IO."""
+
+import io
+
+import pytest
+
+from repro.errors import GraphFormatError
+from repro.graph import io as gio
+from repro.graph.generators import erdos_renyi_gnm
+
+
+def test_read_snap_text_with_comments():
+    text = io.StringIO("# comment\n% other comment\n0 1\n1 2\n2 0\n")
+    e = gio.read_snap_text(text)
+    assert e.num_edges == 3
+    assert e.as_tuples() == [(0, 1), (0, 2), (1, 2)]
+
+
+def test_read_snap_text_bad_line():
+    with pytest.raises(GraphFormatError):
+        gio.read_snap_text(io.StringIO("0\n"))
+    with pytest.raises(GraphFormatError):
+        gio.read_snap_text(io.StringIO("a b\n"))
+
+
+def test_text_roundtrip(tmp_path):
+    e = erdos_renyi_gnm(40, 80, seed=5)
+    p = tmp_path / "g.txt"
+    gio.write_snap_text(e, p)
+    assert gio.read_snap_text(p) == e
+
+
+def test_npz_roundtrip(tmp_path):
+    e = erdos_renyi_gnm(40, 80, seed=6)
+    p = tmp_path / "g.npz"
+    gio.save_npz(e, p)
+    assert gio.load_npz(p) == e
+
+
+def test_load_graph_dispatch(tmp_path):
+    e = erdos_renyi_gnm(20, 30, seed=1)
+    p1 = tmp_path / "g.npz"
+    p2 = tmp_path / "g.txt"
+    gio.save_npz(e, p1)
+    gio.write_snap_text(e, p2)
+    assert gio.load_graph(p1).edges == e
+    assert gio.load_graph(p2).edges == e

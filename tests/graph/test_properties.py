@@ -1,0 +1,62 @@
+"""Unit tests for graph property utilities."""
+
+import numpy as np
+import pytest
+
+from repro.graph import CSRGraph, build_edgelist
+from repro.graph.generators import complete_graph, empty_graph, path_graph, star_graph
+from repro.graph.properties import (
+    degree_histogram,
+    global_clustering_coefficient,
+    num_connected_components,
+    summarize,
+)
+
+
+def test_summarize_basic():
+    edges = build_edgelist([0, 0, 1], [1, 2, 2], num_vertices=5)
+    s = summarize(edges)
+    assert s.num_vertices == 5
+    assert s.num_edges == 3
+    assert s.max_degree == 2
+    assert s.num_isolated == 2
+    assert s.row()[0] == 5
+
+
+def test_summarize_empty():
+    s = summarize(empty_graph(3))
+    assert s.max_degree == 0
+    assert s.mean_degree == 0.0
+    assert s.num_isolated == 3
+
+
+def test_degree_histogram():
+    hist = degree_histogram(star_graph(5))
+    assert hist.tolist() == [0, 4, 0, 0, 1]
+    assert degree_histogram(empty_graph(0)).tolist() == [0]
+
+
+def test_num_connected_components():
+    edges = build_edgelist([0, 2], [1, 3], num_vertices=5)
+    g = CSRGraph.from_edgelist(edges)
+    assert num_connected_components(g) == 3
+    assert num_connected_components(CSRGraph.from_edgelist(empty_graph(0))) == 0
+
+
+def test_clustering_coefficient():
+    assert global_clustering_coefficient(
+        CSRGraph.from_edgelist(complete_graph(5))
+    ) == pytest.approx(1.0)
+    assert global_clustering_coefficient(
+        CSRGraph.from_edgelist(path_graph(5))
+    ) == 0.0
+
+
+def test_clustering_matches_networkx():
+    nx = pytest.importorskip("networkx")
+    from repro.graph.generators import erdos_renyi_gnm
+
+    g = CSRGraph.from_edgelist(erdos_renyi_gnm(40, 160, seed=2))
+    ours = global_clustering_coefficient(g)
+    theirs = nx.transitivity(g.to_networkx())
+    assert ours == pytest.approx(theirs)

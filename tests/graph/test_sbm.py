@@ -1,0 +1,56 @@
+"""Tests for the stochastic block model generator."""
+
+import numpy as np
+import pytest
+
+from repro.errors import InvalidParameterError
+from repro.graph.generators import stochastic_block_model
+
+
+def test_shapes_and_labels():
+    edges, labels = stochastic_block_model([10, 20, 5], 0.5, 0.01, seed=1)
+    assert edges.num_vertices == 35
+    assert labels.tolist() == [0] * 10 + [1] * 20 + [2] * 5
+
+
+def test_determinism():
+    a, _ = stochastic_block_model([15, 15], 0.4, 0.05, seed=9)
+    b, _ = stochastic_block_model([15, 15], 0.4, 0.05, seed=9)
+    assert a == b
+
+
+def test_p_in_one_gives_cliques():
+    edges, labels = stochastic_block_model([6, 4], 1.0, 0.0, seed=0)
+    assert edges.num_edges == 6 * 5 // 2 + 4 * 3 // 2
+    # no cross-block edge
+    assert np.all(labels[edges.u] == labels[edges.v])
+
+
+def test_p_zero_empty():
+    edges, _ = stochastic_block_model([5, 5], 0.0, 0.0, seed=0)
+    assert edges.num_edges == 0
+    assert edges.num_vertices == 10
+
+
+def test_intra_density_dominates():
+    edges, labels = stochastic_block_model([40, 40], 0.3, 0.02, seed=4)
+    same = labels[edges.u] == labels[edges.v]
+    intra = int(same.sum())
+    inter = int((~same).sum())
+    # expected intra ≈ 0.3*2*780 = 468, inter ≈ 0.02*1600 = 32
+    assert intra > 5 * inter
+
+
+def test_unranking_valid_pairs():
+    edges, _ = stochastic_block_model([30], 0.5, 0.0, seed=3)
+    assert np.all(edges.u < edges.v)
+    assert edges.v.max() < 30
+
+
+def test_validation():
+    with pytest.raises(InvalidParameterError):
+        stochastic_block_model([], 0.5, 0.1)
+    with pytest.raises(InvalidParameterError):
+        stochastic_block_model([5, 0], 0.5, 0.1)
+    with pytest.raises(InvalidParameterError):
+        stochastic_block_model([5], 1.5, 0.1)

@@ -1,0 +1,71 @@
+"""Tests for the streaming edge-list reader."""
+
+import numpy as np
+import pytest
+
+from repro.errors import GraphFormatError
+from repro.graph import io as gio
+from repro.graph.generators import erdos_renyi_gnm
+from repro.graph.streaming import StreamingEdgeListBuilder, read_snap_text_streaming
+
+
+def test_builder_matches_batch():
+    edges = erdos_renyi_gnm(80, 400, seed=6)
+    rng = np.random.default_rng(0)
+    # shuffle raw pairs (with duplicates in both orders) into chunks
+    src = np.concatenate([edges.u, edges.v])
+    dst = np.concatenate([edges.v, edges.u])
+    order = rng.permutation(src.size)
+    src, dst = src[order], dst[order]
+    builder = StreamingEdgeListBuilder()
+    for lo in range(0, src.size, 37):
+        builder.add_chunk(src[lo : lo + 37], dst[lo : lo + 37])
+    assert builder.finalize(num_vertices=80) == edges
+
+
+def test_builder_handles_growing_vertex_range():
+    builder = StreamingEdgeListBuilder()
+    builder.add_chunk(np.array([0, 1]), np.array([1, 2]))
+    builder.add_chunk(np.array([50]), np.array([3]))
+    edges = builder.finalize()
+    assert edges.num_vertices == 51
+    assert edges.as_tuples() == [(0, 1), (1, 2), (3, 50)]
+
+
+def test_builder_drops_self_loops_and_empty():
+    builder = StreamingEdgeListBuilder()
+    builder.add_chunk(np.array([2]), np.array([2]))
+    builder.add_chunk(np.empty(0, np.int64), np.empty(0, np.int64))
+    edges = builder.finalize()
+    assert edges.num_edges == 0
+
+
+def test_builder_validation():
+    builder = StreamingEdgeListBuilder()
+    with pytest.raises(GraphFormatError):
+        builder.add_chunk(np.array([1, 2]), np.array([1]))
+    with pytest.raises(GraphFormatError):
+        builder.add_chunk(np.array([-1]), np.array([2]))
+
+
+def test_streaming_reader_matches_batch_reader(tmp_path):
+    edges = erdos_renyi_gnm(60, 240, seed=9)
+    path = tmp_path / "g.txt"
+    gio.write_snap_text(edges, path)
+    for chunk in (7, 64, 1 << 16):
+        got = read_snap_text_streaming(path, chunk_lines=chunk)
+        assert got == edges
+
+
+def test_streaming_reader_errors(tmp_path):
+    p = tmp_path / "bad.txt"
+    p.write_text("0 1\nbroken\n")
+    with pytest.raises(GraphFormatError):
+        read_snap_text_streaming(p)
+    p.write_text("0 x\n")
+    with pytest.raises(GraphFormatError):
+        read_snap_text_streaming(p)
+
+
+def test_empty_builder():
+    assert StreamingEdgeListBuilder().finalize().num_edges == 0

@@ -1,0 +1,52 @@
+"""Unit tests for work partitioners."""
+
+import numpy as np
+import pytest
+
+from repro.errors import InvalidParameterError
+from repro.parallel.partition import block_ranges, cyclic_indices, guided_ranges
+
+
+def test_block_ranges_cover_and_balance():
+    for n in (0, 1, 7, 100, 128):
+        for parts in (1, 3, 8):
+            ranges = block_ranges(n, parts)
+            assert len(ranges) == parts
+            assert ranges[0][0] == 0 and ranges[-1][1] == n
+            sizes = [hi - lo for lo, hi in ranges]
+            assert sum(sizes) == n
+            assert max(sizes) - min(sizes) <= 1
+            # contiguous
+            for (a, b), (c, d) in zip(ranges, ranges[1:]):
+                assert b == c
+
+
+def test_block_ranges_invalid():
+    with pytest.raises(InvalidParameterError):
+        block_ranges(10, 0)
+    with pytest.raises(InvalidParameterError):
+        block_ranges(-1, 2)
+
+
+def test_cyclic_indices_partition():
+    n, parts = 17, 4
+    all_idx = np.concatenate([cyclic_indices(n, parts, p) for p in range(parts)])
+    assert sorted(all_idx.tolist()) == list(range(n))
+    assert cyclic_indices(10, 3, 1).tolist() == [1, 4, 7]
+    with pytest.raises(IndexError):
+        cyclic_indices(10, 3, 3)
+
+
+def test_guided_ranges_cover_and_decrease():
+    chunks = guided_ranges(1000, 4)
+    assert chunks[0][0] == 0 and chunks[-1][1] == 1000
+    sizes = [hi - lo for lo, hi in chunks]
+    assert sizes == sorted(sizes, reverse=True) or min(sizes) >= 1
+    # covers every index exactly once
+    covered = [i for lo, hi in chunks for i in range(lo, hi)]
+    assert covered == list(range(1000))
+
+
+def test_guided_ranges_min_chunk():
+    chunks = guided_ranges(100, 50, min_chunk=10)
+    assert all(hi - lo >= 10 or hi == 100 for lo, hi in chunks)

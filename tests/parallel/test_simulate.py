@@ -1,0 +1,105 @@
+"""Unit tests for instrumentation and the machine model."""
+
+import pytest
+
+from repro.errors import InvalidParameterError
+from repro.parallel import Instrumentation, MachineProfile, Region, SimulatedMachine
+
+
+def make_trace():
+    tr = Instrumentation()
+    tr.add(Region("setup", seconds=0.1, parallel=False))
+    tr.add(Region("kernel", seconds=1.0, work=10_000, rounds=10, intensity="memory"))
+    tr.add(Region("merge", seconds=0.2, work=1_000, rounds=1, intensity="compute"))
+    return tr
+
+
+def test_region_validation():
+    with pytest.raises(InvalidParameterError):
+        Region("x", seconds=1.0, intensity="quantum")
+    with pytest.raises(InvalidParameterError):
+        Region("x", seconds=1.0, rounds=0)
+
+
+def test_region_span_measures_time():
+    tr = Instrumentation()
+    with tr.region("r", work=5):
+        pass
+    assert len(tr.regions) == 1
+    assert tr.regions[0].seconds >= 0
+    assert tr.regions[0].work == 5
+
+
+def test_region_handle_add_round():
+    tr = Instrumentation()
+    with tr.region("r", work=0, rounds=0) as h:
+        h.add_round(100)
+        h.add_round(50)
+    r = tr.regions[0]
+    assert r.work == 150 and r.rounds == 2
+
+
+def test_trace_aggregates():
+    tr = make_trace()
+    assert tr.serial_seconds == pytest.approx(0.1)
+    assert tr.total_seconds == pytest.approx(1.3)
+    assert tr.total_work == 11_000
+    names = tr.by_name()
+    assert list(names) == ["setup", "kernel", "merge"]
+
+
+def test_predicted_time_monotone_decreasing():
+    machine = SimulatedMachine()
+    tr = make_trace()
+    times = [machine.predicted_time(tr, p) for p in (1, 2, 4, 8, 16, 32, 64, 128)]
+    assert times[0] == pytest.approx(tr.total_seconds)
+    for a, b in zip(times, times[1:]):
+        assert b < a
+
+
+def test_serial_fraction_bounds_speedup():
+    machine = SimulatedMachine()
+    tr = make_trace()
+    t128 = machine.predicted_time(tr, 128)
+    # serial 0.1s can never be beaten
+    assert t128 > 0.1
+
+
+def test_efficiency_decreases():
+    machine = SimulatedMachine()
+    curve = machine.scaling_curve(make_trace())
+    eff = curve.efficiencies()
+    assert eff[0] == pytest.approx(100.0)
+    assert all(a >= b - 1e-9 for a, b in zip(eff, eff[1:]))
+    assert eff[-1] < 50.0
+
+
+def test_compute_regions_scale_better_than_memory():
+    machine = SimulatedMachine()
+    mem = Instrumentation()
+    mem.add(Region("k", seconds=1.0, intensity="memory"))
+    cpu = Instrumentation()
+    cpu.add(Region("k", seconds=1.0, intensity="compute"))
+    assert machine.predicted_time(cpu, 128) < machine.predicted_time(mem, 128)
+
+
+def test_kernel_curves_grouping():
+    machine = SimulatedMachine()
+    curves = machine.kernel_curves(make_trace())
+    assert set(curves) == {"setup", "kernel", "merge"}
+    assert curves["setup"].seconds[0] == pytest.approx(0.1)
+
+
+def test_profile_validation():
+    with pytest.raises(InvalidParameterError):
+        MachineProfile(max_threads=0)
+    with pytest.raises(InvalidParameterError):
+        MachineProfile(bandwidth_fraction={"compute": 2.0, "mixed": 0.5, "memory": 0.5})
+    with pytest.raises(InvalidParameterError):
+        MachineProfile(bandwidth_fraction={"mixed": 0.5, "memory": 0.5})
+
+
+def test_scaling_curve_respects_max_threads():
+    machine = SimulatedMachine(MachineProfile(max_threads=8))
+    curve = machine.scaling_curve(make_trace())
+    assert max(curve.threads) == 8

@@ -1,0 +1,109 @@
+"""End-to-end CLI tests (generate → index → query → info)."""
+
+import numpy as np
+import pytest
+
+from repro.cli import main
+
+
+def test_version(capsys):
+    with pytest.raises(SystemExit) as exc:
+        main(["--version"])
+    assert exc.value.code == 0
+
+
+def test_generate_index_query_info_roundtrip(tmp_path, capsys):
+    graph_path = tmp_path / "g.npz"
+    index_path = tmp_path / "g.index.npz"
+
+    assert main(["generate", "gnm", "--n", "60", "--m", "280",
+                 "--seed", "4", "--out", str(graph_path)]) == 0
+    out = capsys.readouterr().out
+    assert "wrote 60 vertices / 280 edges" in out
+
+    assert main(["index", str(graph_path), "--out", str(index_path),
+                 "--variant", "coptimal", "--breakdown"]) == 0
+    out = capsys.readouterr().out
+    assert "built coptimal index" in out
+    assert "SpNode" in out
+
+    assert main(["query", str(index_path), "--vertex", "0", "--max-k"]) == 0
+    capsys.readouterr()
+
+    assert main(["query", str(index_path), "--vertex", "0", "--top-r", "2"]) == 0
+    capsys.readouterr()
+
+    assert main(["info", str(graph_path)]) == 0
+    out = capsys.readouterr().out
+    assert "graph: 60 vertices" in out
+
+    assert main(["info", str(index_path)]) == 0
+    out = capsys.readouterr().out
+    assert "EquiTruss index" in out
+    assert "num_supernodes" in out
+
+
+def test_verify_subcommand(tmp_path, capsys):
+    graph_path = tmp_path / "g.npz"
+    index_path = tmp_path / "i.npz"
+    main(["generate", "gnm", "--n", "40", "--m", "180", "--seed", "2",
+          "--out", str(graph_path)])
+    main(["index", str(graph_path), "--out", str(index_path)])
+    capsys.readouterr()
+    assert main(["verify", str(index_path)]) == 0
+    assert "OK" in capsys.readouterr().out
+    # corrupt the index and verify again
+    import numpy as np
+
+    from repro.equitruss import EquiTrussIndex
+
+    idx = EquiTrussIndex.load(index_path)
+    if idx.superedges.shape[0]:
+        idx.superedges = idx.superedges[:-1]
+        idx.save(index_path)
+        assert main(["verify", str(index_path)]) == 1
+        assert "FAILED" in capsys.readouterr().err
+
+
+def test_generate_dataset_and_text_format(tmp_path, capsys):
+    out = tmp_path / "amazon.txt"
+    assert main(["generate", "amazon", "--scale-factor", "0.5",
+                 "--out", str(out)]) == 0
+    assert out.exists()
+    text = out.read_text()
+    assert text.startswith("#")
+
+
+def test_generate_rmat(tmp_path, capsys):
+    out = tmp_path / "r.npz"
+    assert main(["generate", "rmat", "--scale", "7", "--edge-factor", "4",
+                 "--out", str(out)]) == 0
+    from repro.graph.io import load_npz
+
+    edges = load_npz(out)
+    assert edges.num_vertices == 128
+
+
+def test_generate_unknown_model(tmp_path, capsys):
+    assert main(["generate", "nope", "--out", str(tmp_path / "x.npz")]) == 2
+
+
+def test_query_requires_level(tmp_path, capsys):
+    graph_path = tmp_path / "g.npz"
+    index_path = tmp_path / "i.npz"
+    main(["generate", "gnm", "--n", "20", "--m", "60", "--out", str(graph_path)])
+    main(["index", str(graph_path), "--out", str(index_path)])
+    capsys.readouterr()
+    assert main(["query", str(index_path), "--vertex", "0"]) == 2
+
+
+def test_query_specific_k(tmp_path, capsys):
+    graph_path = tmp_path / "g.npz"
+    index_path = tmp_path / "i.npz"
+    main(["generate", "gnm", "--n", "30", "--m", "160", "--seed", "1",
+          "--out", str(graph_path)])
+    main(["index", str(graph_path), "--out", str(index_path)])
+    capsys.readouterr()
+    assert main(["query", str(index_path), "--vertex", "0", "--k", "3"]) == 0
+    out = capsys.readouterr().out
+    assert "k=3" in out or "no community" in out

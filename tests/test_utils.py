@@ -1,0 +1,101 @@
+"""Unit tests for the utils package."""
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.errors import InvalidParameterError
+from repro.utils import (
+    KernelTimer,
+    Timer,
+    check_array_1d,
+    check_in_range,
+    check_nonnegative,
+    check_positive,
+    resolve_rng,
+)
+
+
+def test_timer_measures():
+    with Timer() as t:
+        time.sleep(0.01)
+    assert t.elapsed >= 0.009
+
+
+def test_timer_accumulates():
+    t = Timer()
+    t.start()
+    t.stop()
+    first = t.elapsed
+    t.start()
+    t.stop()
+    assert t.elapsed >= first
+
+
+def test_timer_stop_before_start():
+    with pytest.raises(RuntimeError):
+        Timer().stop()
+
+
+def test_kernel_timer_accumulates_by_name():
+    kt = KernelTimer()
+    with kt.span("a"):
+        pass
+    kt.add("a", 1.0)
+    kt.add("b", 3.0)
+    assert kt.seconds("a") >= 1.0
+    assert kt.seconds("missing") == 0.0
+    assert kt.total >= 4.0
+    names = [r.name for r in kt.breakdown()]
+    assert names == ["a", "b"]
+
+
+def test_kernel_timer_percentages():
+    kt = KernelTimer()
+    kt.add("x", 1.0)
+    kt.add("y", 3.0)
+    pct = kt.percentages()
+    assert pct["x"] == pytest.approx(25.0)
+    assert pct["y"] == pytest.approx(75.0)
+    assert KernelTimer().percentages() == {}
+
+
+def test_kernel_timer_merge():
+    a, b = KernelTimer(), KernelTimer()
+    a.add("k", 1.0)
+    b.add("k", 2.0)
+    b.add("j", 1.0)
+    a.merge(b)
+    assert a.seconds("k") == pytest.approx(3.0)
+    assert a.seconds("j") == pytest.approx(1.0)
+
+
+def test_resolve_rng():
+    r1 = resolve_rng(42)
+    r2 = resolve_rng(42)
+    assert r1.integers(0, 100) == r2.integers(0, 100)
+    gen = np.random.default_rng(0)
+    assert resolve_rng(gen) is gen
+    assert resolve_rng(None) is not None
+
+
+def test_validation_helpers():
+    check_positive("x", 1)
+    check_nonnegative("x", 0)
+    check_in_range("x", 0.5, 0, 1)
+    with pytest.raises(InvalidParameterError):
+        check_positive("x", 0)
+    with pytest.raises(InvalidParameterError):
+        check_nonnegative("x", -1)
+    with pytest.raises(InvalidParameterError):
+        check_in_range("x", 2, 0, 1)
+
+
+def test_check_array_1d():
+    arr = check_array_1d("a", np.arange(3), "iu")
+    assert arr.shape == (3,)
+    with pytest.raises(InvalidParameterError):
+        check_array_1d("a", np.zeros((2, 2)))
+    with pytest.raises(InvalidParameterError):
+        check_array_1d("a", np.zeros(3, dtype=float), "iu")

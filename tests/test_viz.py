@@ -1,0 +1,41 @@
+"""Tests for DOT exports."""
+
+from repro.community import search_communities
+from repro.equitruss import build_index
+from repro.graph import CSRGraph
+from repro.graph.generators import paper_example_graph
+from repro.viz import community_dot, summary_graph_dot
+
+
+def make_index():
+    g = CSRGraph.from_edgelist(paper_example_graph())
+    return build_index(g, "afforest").index
+
+
+def test_summary_graph_dot_structure():
+    index = make_index()
+    dot = summary_graph_dot(index)
+    assert dot.startswith("graph equitruss {")
+    assert dot.rstrip().endswith("}")
+    assert dot.count(" -- ") == index.num_superedges
+    for sn in range(index.num_supernodes):
+        assert f"nu{sn} [label=" in dot
+    assert "k=5" in dot
+
+
+def test_summary_graph_dot_truncation():
+    index = make_index()
+    dot = summary_graph_dot(index, max_supernodes=2)
+    assert "nu4 [label=" not in dot
+    # only superedges among retained supernodes survive
+    assert dot.count(" -- ") <= index.num_superedges
+
+
+def test_community_dot():
+    index = make_index()
+    (c,) = search_communities(index, 6, 5)
+    dot = community_dot(c, highlight=6)
+    assert dot.count(" -- ") == c.num_edges
+    assert "v6 [style=filled" in dot
+    for v in c.vertices().tolist():
+        assert f"v{v}" in dot

@@ -1,0 +1,135 @@
+"""Unit + property tests for triangle enumeration."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graph import CSRGraph, build_graph
+from repro.graph.generators import (
+    complete_graph,
+    erdos_renyi_gnm,
+    paper_example_graph,
+    path_graph,
+    rmat_graph,
+    star_graph,
+)
+from repro.triangles import (
+    count_triangles,
+    count_triangles_matrix,
+    count_triangles_node_iterator,
+    enumerate_triangles,
+)
+
+
+def graph_of(edges):
+    return CSRGraph.from_edgelist(edges)
+
+
+def brute_force_triangles(graph):
+    """All triangles as sorted vertex triples, via cubic enumeration."""
+    tuples = set()
+    edges = set(graph.edges.as_tuples())
+    verts = graph.num_vertices
+    for u, v in edges:
+        for w in range(verts):
+            if w == u or w == v:
+                continue
+            if (min(u, w), max(u, w)) in edges and (min(v, w), max(v, w)) in edges:
+                tuples.add(tuple(sorted((u, v, w))))
+    return tuples
+
+
+def triples_to_vertex_sets(graph, tri):
+    """Convert edge-id triples to vertex triples."""
+    out = set()
+    for ea, eb, ec in tri.as_matrix().tolist():
+        vs = set()
+        for e in (ea, eb, ec):
+            vs.add(int(graph.edges.u[e]))
+            vs.add(int(graph.edges.v[e]))
+        assert len(vs) == 3
+        out.add(tuple(sorted(vs)))
+    return out
+
+
+def test_no_triangles_in_trees_and_stars():
+    for edges in (path_graph(10), star_graph(10)):
+        g = graph_of(edges)
+        assert enumerate_triangles(g).count == 0
+        assert count_triangles(g) == 0
+
+
+def test_single_triangle():
+    g = build_graph([0, 0, 1], [1, 2, 2])
+    tri = enumerate_triangles(g)
+    assert tri.count == 1
+    row = set(tri.as_matrix()[0].tolist())
+    assert row == {0, 1, 2}
+
+
+def test_complete_graph_counts():
+    for n in (3, 4, 5, 7):
+        g = graph_of(complete_graph(n))
+        expect = n * (n - 1) * (n - 2) // 6
+        assert enumerate_triangles(g).count == expect
+        assert count_triangles_matrix(g) == expect
+        assert count_triangles_node_iterator(g) == expect
+
+
+def test_each_triangle_enumerated_once():
+    g = graph_of(erdos_renyi_gnm(40, 200, seed=5))
+    tri = enumerate_triangles(g)
+    rows = tri.canonical_sorted()
+    assert np.unique(rows, axis=0).shape[0] == rows.shape[0]
+
+
+def test_matches_brute_force_random():
+    g = graph_of(erdos_renyi_gnm(25, 90, seed=8))
+    tri = enumerate_triangles(g)
+    assert triples_to_vertex_sets(g, tri) == brute_force_triangles(g)
+
+
+def test_matches_networkx():
+    nx = pytest.importorskip("networkx")
+    g = graph_of(rmat_graph(8, 6, seed=3))
+    expected = sum(nx.triangles(g.to_networkx()).values()) // 3
+    assert count_triangles(g) == expected
+    assert count_triangles_matrix(g) == expected
+
+
+def test_batching_invariance():
+    g = graph_of(erdos_renyi_gnm(60, 400, seed=2))
+    full = enumerate_triangles(g, batch_slots=1 << 20).canonical_sorted()
+    tiny = enumerate_triangles(g, batch_slots=7).canonical_sorted()
+    assert np.array_equal(full, tiny)
+
+
+def test_paper_example_triangle_count():
+    g = graph_of(paper_example_graph())
+    # K4 has 4 triangles (x2), K5 has 10, plus bridges: (0,3,4), (2,3,6),
+    # (2,6,8), (5,6,7), (5,7,10), (5,6,10)
+    assert count_triangles(g) == 4 + 4 + 10 + 6
+
+
+def test_empty_graph():
+    g = build_graph([], [])
+    tri = enumerate_triangles(g)
+    assert tri.count == 0
+    assert tri.support().size == 0
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    n=st.integers(min_value=1, max_value=14),
+    data=st.data(),
+)
+def test_property_counts_agree(n, data):
+    max_m = n * (n - 1) // 2
+    m = data.draw(st.integers(min_value=0, max_value=max_m))
+    seed = data.draw(st.integers(min_value=0, max_value=2**31 - 1))
+    g = graph_of(erdos_renyi_gnm(n, m, seed=seed))
+    tri = enumerate_triangles(g)
+    assert tri.count == count_triangles_matrix(g)
+    assert tri.count == count_triangles_node_iterator(g)
+    assert triples_to_vertex_sets(g, tri) == brute_force_triangles(g)

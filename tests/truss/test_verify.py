@@ -1,0 +1,77 @@
+"""Unit tests for the truss verifier."""
+
+import numpy as np
+import pytest
+
+from repro.errors import IndexIntegrityError, InvalidParameterError
+from repro.graph import CSRGraph
+from repro.graph.generators import complete_graph, erdos_renyi_gnm
+from repro.truss import truss_decomposition, verify_trussness
+from repro.truss.decompose import TrussDecomposition
+from repro.truss.verify import maximal_k_truss
+
+
+def test_verify_accepts_correct_decomposition():
+    g = CSRGraph.from_edgelist(erdos_renyi_gnm(30, 150, seed=2))
+    verify_trussness(g, truss_decomposition(g))
+
+
+def test_verify_rejects_wrong_length():
+    g = CSRGraph.from_edgelist(complete_graph(4))
+    bad = TrussDecomposition(
+        trussness=np.array([4], dtype=np.int64),
+        support=np.array([2], dtype=np.int64),
+        peel_rounds=1,
+    )
+    with pytest.raises(IndexIntegrityError):
+        verify_trussness(g, bad)
+
+
+def test_verify_rejects_inflated_trussness():
+    g = CSRGraph.from_edgelist(complete_graph(4))
+    d = truss_decomposition(g)
+    bad = TrussDecomposition(
+        trussness=d.trussness + 1, support=d.support, peel_rounds=d.peel_rounds
+    )
+    with pytest.raises(IndexIntegrityError):
+        verify_trussness(g, bad)
+
+
+def test_verify_rejects_deflated_trussness():
+    g = CSRGraph.from_edgelist(complete_graph(5))
+    d = truss_decomposition(g)
+    tau = d.trussness.copy()
+    tau[0] = 3  # understate one edge
+    bad = TrussDecomposition(trussness=tau, support=d.support, peel_rounds=1)
+    with pytest.raises(IndexIntegrityError):
+        verify_trussness(g, bad)
+
+
+def test_verify_rejects_below_two():
+    g = CSRGraph.from_edgelist(complete_graph(4))
+    d = truss_decomposition(g)
+    tau = d.trussness.copy()
+    tau[0] = 1
+    with pytest.raises(IndexIntegrityError):
+        verify_trussness(
+            g, TrussDecomposition(trussness=tau, support=d.support, peel_rounds=1)
+        )
+
+
+def test_maximal_k_truss_monotone():
+    g = CSRGraph.from_edgelist(erdos_renyi_gnm(25, 120, seed=5))
+    prev = maximal_k_truss(g, 3)
+    for k in (4, 5, 6):
+        cur = maximal_k_truss(g, k)
+        assert np.all(prev[cur])  # k-truss ⊆ (k-1)-truss
+
+
+def test_maximal_k_truss_k2_is_everything():
+    g = CSRGraph.from_edgelist(erdos_renyi_gnm(10, 20, seed=0))
+    assert np.all(maximal_k_truss(g, 2))
+
+
+def test_maximal_k_truss_validation():
+    g = CSRGraph.from_edgelist(complete_graph(3))
+    with pytest.raises(InvalidParameterError):
+        maximal_k_truss(g, 1)
