@@ -13,6 +13,7 @@ from functools import lru_cache
 from repro.equitruss.pipeline import BuildResult, build_index
 from repro.graph.csr import CSRGraph
 from repro.graph.datasets import load_dataset
+from repro.obs.trace import current_tracer
 from repro.triangles.enumerate import TriangleSet, enumerate_triangles
 from repro.truss.decompose import TrussDecomposition, truss_decomposition
 
@@ -58,11 +59,26 @@ def run_variant(
     kernels (Init, SpNode, SpEdge, SmGraph, SpNodeRemap) are timed.
     """
     if include_prereqs:
-        return build_index(workload.graph, variant, num_workers=num_workers)
-    return build_index(
-        workload.graph,
-        variant,
-        decomp=workload.decomp,
-        triangles=workload.triangles,
-        num_workers=num_workers,
-    )
+        result = build_index(workload.graph, variant, num_workers=num_workers)
+    else:
+        result = build_index(
+            workload.graph,
+            variant,
+            decomp=workload.decomp,
+            triangles=workload.triangles,
+            num_workers=num_workers,
+        )
+    ambient = current_tracer()
+    if ambient is not None:
+        # Graft this run's span tree under a labelled wrapper so a bench
+        # driver that loops workloads × variants exports one combined
+        # trace (the REPRO_TRACE_DIR hook in benchmarks/conftest.py).
+        wrapper = ambient.add(
+            "Run",
+            result.trace.tracer.total_seconds,
+            workload=workload.name,
+            variant=variant,
+            num_workers=num_workers,
+        )
+        wrapper.children.extend(result.trace.tracer.roots)
+    return result

@@ -15,6 +15,7 @@ import numpy as np
 
 from repro.cc.core import compress, link_once, minlabel_hook_rounds
 from repro.graph.csr import CSRGraph
+from repro.obs import metrics
 from repro.parallel.api import ExecutionPolicy
 from repro.utils.rng import resolve_rng
 from repro.utils.validation import check_nonnegative
@@ -85,6 +86,8 @@ def afforest_on_csr(
                     comp, srcs[live], dsts[live], handle=handle
                 )
     compress(comp, nodes)
+    metrics.inc("repro.cc.afforest_rounds", total_rounds)
+    metrics.inc("repro.cc.afforest_finish_nodes", int(rest.size))
     return total_rounds
 
 

@@ -10,6 +10,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.graph.csr import CSRGraph
+from repro.obs import metrics
 from repro.parallel.api import ExecutionPolicy
 from repro.cc.core import minlabel_hook_rounds
 
@@ -25,5 +26,6 @@ def shiloach_vishkin(
     policy = ExecutionPolicy.default(policy)
     comp = np.arange(graph.num_vertices, dtype=np.int64)
     with policy.trace.region("SV", work=0, rounds=0, intensity="memory") as handle:
-        minlabel_hook_rounds(comp, graph.edges.u, graph.edges.v, handle=handle)
+        rounds = minlabel_hook_rounds(comp, graph.edges.u, graph.edges.v, handle=handle)
+    metrics.inc("repro.cc.sv_rounds", rounds)
     return comp

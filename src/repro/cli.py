@@ -10,7 +10,12 @@ index
 query
     Answer local community queries from a saved index.
 info
-    Summarize a graph or index file.
+    Summarize a graph or index file, or (``--trace``) print the
+    per-kernel breakdown of a saved JSONL trace.
+
+``index`` accepts ``--trace-out``/``--metrics-out`` to export the run's
+span trace (JSONL) and metrics snapshot (JSON); the global
+``--log-level`` flag enables structured key=value logging.
 """
 
 from __future__ import annotations
@@ -49,13 +54,22 @@ def _cmd_generate(args: argparse.Namespace) -> int:
 def _cmd_index(args: argparse.Namespace) -> int:
     from repro.equitruss import build_index
     from repro.graph.io import load_graph
+    from repro.obs.logging import get_logger, kv
+    from repro.obs.metrics import get_registry, reset_metrics
 
+    log = get_logger("cli")
+    reset_metrics()  # the metrics file reflects this run only
     graph = load_graph(args.graph)
+    log.info(kv("load_graph", path=args.graph, vertices=graph.num_vertices,
+                edges=graph.num_edges))
     result = build_index(graph, variant=args.variant, num_workers=args.workers)
     index = result.index
     index.validate()
     index.save(args.out)
     stats = index.stats()
+    log.info(kv("build_index", variant=args.variant, seconds=f"{result.seconds:.4f}",
+                supernodes=stats["num_supernodes"],
+                superedges=stats["num_superedges"]))
     print(
         f"built {args.variant} index in {result.seconds:.3f}s: "
         f"{stats['num_supernodes']} supernodes, {stats['num_superedges']} superedges, "
@@ -64,6 +78,19 @@ def _cmd_index(args: argparse.Namespace) -> int:
     if args.breakdown:
         for name, secs in result.breakdown.seconds.items():
             print(f"  {name:<12} {secs:8.4f}s")
+    if args.trace_out:
+        from repro.obs.export import write_trace_jsonl
+
+        path = write_trace_jsonl(result.trace.tracer, args.trace_out)
+        print(f"wrote trace -> {path}")
+        log.info(kv("trace_out", path=str(path), spans=len(result.trace.tracer)))
+    if args.metrics_out:
+        from repro.obs.export import write_metrics_json
+
+        registry = get_registry()
+        path = write_metrics_json(registry, args.metrics_out)
+        print(f"wrote metrics ({len(registry.names())} names) -> {path}")
+        log.info(kv("metrics_out", path=str(path), names=len(registry.names())))
     return 0
 
 
@@ -100,6 +127,21 @@ def _cmd_query(args: argparse.Namespace) -> int:
 
 
 def _cmd_info(args: argparse.Namespace) -> int:
+    if args.trace:
+        from repro.equitruss.kernels import KERNELS, TRUSS_DECOMP
+        from repro.obs.export import read_trace_jsonl
+        from repro.obs.report import breakdown_table, flamegraph
+
+        spans = read_trace_jsonl(args.trace)
+        print(breakdown_table(spans, include=(*KERNELS, TRUSS_DECOMP),
+                              title=f"per-kernel breakdown: {args.trace}"))
+        if args.flame:
+            print()
+            print(flamegraph(spans))
+        return 0
+    if args.file is None:
+        print("either a graph/index file or --trace is required", file=sys.stderr)
+        return 2
     path = Path(args.file)
     with np.load(path) as data:
         is_index = "supernode_trussness" in data.files
@@ -147,6 +189,10 @@ def build_parser() -> argparse.ArgumentParser:
         description="Parallel EquiTruss index construction and local community search",
     )
     parser.add_argument("--version", action="version", version=f"repro {__version__}")
+    parser.add_argument(
+        "--log-level", default=None, choices=["debug", "info", "warning", "error"],
+        help="enable structured key=value logging at this level",
+    )
     sub = parser.add_subparsers(dest="command", required=True)
 
     gen = sub.add_parser("generate", help="materialize a synthetic graph")
@@ -168,6 +214,10 @@ def build_parser() -> argparse.ArgumentParser:
     idx.add_argument("--workers", type=int, default=1)
     idx.add_argument("--breakdown", action="store_true",
                      help="print the per-kernel timing breakdown")
+    idx.add_argument("--trace-out", default=None, metavar="PATH",
+                     help="write the hierarchical span trace as JSONL")
+    idx.add_argument("--metrics-out", default=None, metavar="PATH",
+                     help="write the run's metrics snapshot as JSON")
     idx.set_defaults(func=_cmd_index)
 
     q = sub.add_parser("query", help="local community search from a saved index")
@@ -180,8 +230,12 @@ def build_parser() -> argparse.ArgumentParser:
                    help="query at the vertex's maximum cohesion level")
     q.set_defaults(func=_cmd_query)
 
-    info = sub.add_parser("info", help="summarize a graph or index file")
-    info.add_argument("file")
+    info = sub.add_parser("info", help="summarize a graph, index, or trace file")
+    info.add_argument("file", nargs="?", default=None)
+    info.add_argument("--trace", default=None, metavar="PATH",
+                      help="print the per-kernel breakdown of a saved JSONL trace")
+    info.add_argument("--flame", action="store_true",
+                      help="with --trace: also print the span-tree flamegraph")
     info.set_defaults(func=_cmd_info)
 
     ver = sub.add_parser(
@@ -195,6 +249,10 @@ def build_parser() -> argparse.ArgumentParser:
 def main(argv: list[str] | None = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
+    if args.log_level:
+        from repro.obs.logging import setup_logging
+
+        setup_logging(args.log_level)
     return args.func(args)
 
 

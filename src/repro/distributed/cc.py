@@ -19,6 +19,7 @@ import numpy as np
 from repro.distributed.comm import SimComm, run_spmd
 from repro.distributed.partition import EdgePartition, partition_edges
 from repro.graph.edgelist import EdgeList
+from repro.obs import trace as obs_trace
 
 
 def _cc_rank(comm: SimComm, parts: list[EdgePartition]) -> np.ndarray:
@@ -65,6 +66,7 @@ def distributed_components(
     """
     from repro.distributed.comm import CommStats  # re-export for type
 
-    parts = partition_edges(edges, num_ranks, strategy=strategy)
-    results, stats = run_spmd(num_ranks, _cc_rank, parts)
-    return np.concatenate(results), stats
+    with obs_trace.span("DistCC", ranks=num_ranks, strategy=strategy):
+        parts = partition_edges(edges, num_ranks, strategy=strategy)
+        results, stats = run_spmd(num_ranks, _cc_rank, parts)
+        return np.concatenate(results), stats

@@ -20,6 +20,7 @@ from typing import Any, Callable
 import numpy as np
 
 from repro.errors import BackendError, InvalidParameterError
+from repro.obs import metrics
 from repro.utils.validation import check_positive
 
 
@@ -48,10 +49,13 @@ class CommStats:
         with self._lock:
             self.messages += 1
             self.bytes += nbytes
+        metrics.inc("repro.dist.messages")
+        metrics.inc("repro.dist.bytes_sent", nbytes)
 
     def record_collective(self) -> None:
         with self._lock:
             self.collectives += 1
+        metrics.inc("repro.dist.collectives")
 
 
 class _World:

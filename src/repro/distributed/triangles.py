@@ -25,6 +25,7 @@ import numpy as np
 from repro.distributed.comm import CommStats, SimComm, run_spmd
 from repro.distributed.partition import VertexOwnership, partition_edges
 from repro.graph.edgelist import EdgeList
+from repro.obs import trace as obs_trace
 
 
 def _triangle_rank(
@@ -124,13 +125,15 @@ def distributed_triangle_count(
     edges: EdgeList, num_ranks: int, strategy: str = "hash"
 ) -> tuple[int, CommStats]:
     """Exact global triangle count over ``num_ranks`` SPMD ranks."""
-    results, stats = run_spmd(num_ranks, _triangle_rank, edges, strategy)
-    return results[0][0], stats
+    with obs_trace.span("DistTriangleCount", ranks=num_ranks, strategy=strategy):
+        results, stats = run_spmd(num_ranks, _triangle_rank, edges, strategy)
+        return results[0][0], stats
 
 
 def distributed_support(
     edges: EdgeList, num_ranks: int, strategy: str = "hash"
 ) -> tuple[np.ndarray, CommStats]:
     """Per-edge support (global edge ids) over ``num_ranks`` ranks."""
-    results, stats = run_spmd(num_ranks, _triangle_rank, edges, strategy)
-    return results[0][1], stats
+    with obs_trace.span("DistSupport", ranks=num_ranks, strategy=strategy):
+        results, stats = run_spmd(num_ranks, _triangle_rank, edges, strategy)
+        return results[0][1], stats

@@ -26,6 +26,7 @@ import numpy as np
 from repro.distributed.comm import CommStats, SimComm, run_spmd
 from repro.graph.csr import CSRGraph
 from repro.graph.edgelist import EdgeList
+from repro.obs import trace as obs_trace
 from repro.triangles.enumerate import TriangleSet, enumerate_triangles
 from repro.truss.decompose import TrussDecomposition
 
@@ -93,17 +94,18 @@ def distributed_truss_decomposition(
     :func:`repro.distributed.triangles.distributed_support`'s exchange);
     otherwise enumerated once up front.
     """
-    if triangles is None:
-        triangles = enumerate_triangles(CSRGraph.from_edgelist(edges))
-    triples = (
-        np.stack([triangles.e_uv, triangles.e_uw, triangles.e_vw], axis=1)
-        if triangles.count
-        else np.empty((0, 3), dtype=np.int64)
-    )
-    sup0 = triangles.support()
-    results, stats = run_spmd(num_ranks, _truss_rank, edges, triples, sup0)
-    tau = results[0]
-    return (
-        TrussDecomposition(trussness=tau, support=sup0, peel_rounds=0),
-        stats,
-    )
+    with obs_trace.span("DistTrussDecomp", ranks=num_ranks):
+        if triangles is None:
+            triangles = enumerate_triangles(CSRGraph.from_edgelist(edges))
+        triples = (
+            np.stack([triangles.e_uv, triangles.e_uw, triangles.e_vw], axis=1)
+            if triangles.count
+            else np.empty((0, 3), dtype=np.int64)
+        )
+        sup0 = triangles.support()
+        results, stats = run_spmd(num_ranks, _truss_rank, edges, triples, sup0)
+        tau = results[0]
+        return (
+            TrussDecomposition(trussness=tau, support=sup0, peel_rounds=0),
+            stats,
+        )

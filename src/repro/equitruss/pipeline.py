@@ -35,6 +35,7 @@ from repro.equitruss.variants import (
 )
 from repro.errors import InvalidParameterError
 from repro.graph.csr import CSRGraph
+from repro.obs import metrics
 from repro.parallel.api import ExecutionPolicy
 from repro.parallel.instrument import Instrumentation
 from repro.triangles.enumerate import TriangleSet, enumerate_triangles
@@ -115,72 +116,90 @@ def build_index(
     policy = ExecutionPolicy.default(policy)
     trace = policy.trace
 
-    # ------------------------------------------------------------- Support
-    if triangles is None:
-        with trace.region(SUPPORT, work=graph.num_edges, intensity="mixed") as h:
-            triangles = enumerate_triangles(graph)
-            h.work = max(triangles.count, 1)
+    build_span = trace.tracer.begin(
+        "BuildIndex",
+        variant=variant,
+        num_workers=num_workers,
+        vertices=graph.num_vertices,
+        edges=graph.num_edges,
+    )
+    try:
+        # ----------------------------------------------------------- Support
+        if triangles is None:
+            with trace.region(SUPPORT, work=graph.num_edges, intensity="mixed") as h:
+                triangles = enumerate_triangles(graph)
+                h.work = max(triangles.count, 1)
 
-    # --------------------------------------------------------- TrussDecomp
-    if decomp is None:
-        decomp = truss_decomposition(graph, triangles=triangles, policy=policy)
-    tau = decomp.trussness
+        # ------------------------------------------------------- TrussDecomp
+        if decomp is None:
+            decomp = truss_decomposition(graph, triangles=triangles, policy=policy)
+        tau = decomp.trussness
 
-    # ---------------------------------------------------------------- Init
-    with trace.region(INIT, work=graph.num_edges, intensity="memory") as h:
-        comp = np.arange(graph.num_edges, dtype=np.int64)
-        if variant == "baseline":
-            # Baseline groups Φ_k sets only; triangle tables are
-            # recomputed from the CSR when each level is processed.
-            levels_arr = decomp.k_classes()
-            levels = None
-        else:
-            levels = build_level_structures(
-                triangles, tau, with_adjacency=(variant == "afforest")
-            )
-            levels_arr = levels.levels
-            h.work = graph.num_edges + levels.num_hook_pairs
-
-    # ------------------------------------------------- per-level SpNode/SpEdge
-    worker_subsets = None
-    for k in levels_arr.tolist():
-        ses_level: tuple[np.ndarray, np.ndarray] | None = None
-        with trace.region(
-            SP_NODE, work=0, rounds=0, intensity=spec.spnode_intensity
-        ) as h:
+        # -------------------------------------------------------------- Init
+        with trace.region(INIT, work=graph.num_edges, intensity="memory") as h:
+            comp = np.arange(graph.num_edges, dtype=np.int64)
             if variant == "baseline":
-                ses_level = spnode_baseline(comp, graph, tau, k, handle=h)
-            elif variant == "coptimal":
-                spnode_coptimal(comp, levels, k, handle=h)
+                # Baseline groups Φ_k sets only; triangle tables are
+                # recomputed from the CSR when each level is processed.
+                levels_arr = decomp.k_classes()
+                levels = None
             else:
-                spnode_afforest(
-                    comp,
-                    levels,
-                    k,
-                    phi_nodes=decomp.phi(k),
-                    neighbor_rounds=neighbor_rounds,
-                    seed=seed,
-                    handle=h,
+                levels = build_level_structures(
+                    triangles, tau, with_adjacency=(variant == "afforest")
                 )
-        with trace.region(SP_EDGE, work=0, rounds=0, intensity="mixed") as h:
-            if ses_level is not None:
-                se_lo, se_hi = ses_level
-            else:
-                se_lo, se_hi = levels.superedge_candidates(k)
-            worker_subsets = generate_superedges(
-                comp, se_lo, se_hi, num_workers, worker_subsets, handle=h
+                levels_arr = levels.levels
+                h.work = graph.num_edges + levels.num_hook_pairs
+                metrics.inc("repro.equitruss.hook_pairs", levels.num_hook_pairs)
+        metrics.set_gauge("repro.equitruss.levels", int(levels_arr.size))
+
+        # --------------------------------------------- per-level SpNode/SpEdge
+        worker_subsets = None
+        for k in levels_arr.tolist():
+            level_edges = int((tau == k).sum())
+            metrics.observe("repro.equitruss.level_edges", level_edges)
+            with trace.tracer.span("Level", k=int(k), edges=level_edges):
+                ses_level: tuple[np.ndarray, np.ndarray] | None = None
+                with trace.region(
+                    SP_NODE, work=0, rounds=0, intensity=spec.spnode_intensity
+                ) as h:
+                    if variant == "baseline":
+                        ses_level = spnode_baseline(comp, graph, tau, k, handle=h)
+                    elif variant == "coptimal":
+                        spnode_coptimal(comp, levels, k, handle=h)
+                    else:
+                        spnode_afforest(
+                            comp,
+                            levels,
+                            k,
+                            phi_nodes=decomp.phi(k),
+                            neighbor_rounds=neighbor_rounds,
+                            seed=seed,
+                            handle=h,
+                        )
+                with trace.region(SP_EDGE, work=0, rounds=0, intensity="mixed") as h:
+                    if ses_level is not None:
+                        se_lo, se_hi = ses_level
+                    else:
+                        se_lo, se_hi = levels.superedge_candidates(k)
+                    worker_subsets = generate_superedges(
+                        comp, se_lo, se_hi, num_workers, worker_subsets, handle=h
+                    )
+
+        # ----------------------------------------------------------- SmGraph
+        with trace.region(SM_GRAPH, work=0, rounds=0, intensity="memory") as h:
+            raw_superedges = merge_supergraph(
+                worker_subsets or [], num_workers, handle=h
             )
 
-    # ------------------------------------------------------------- SmGraph
-    with trace.region(SM_GRAPH, work=0, rounds=0, intensity="memory") as h:
-        raw_superedges = merge_supergraph(
-            worker_subsets or [], num_workers, handle=h
-        )
+        # ------------------------------------------------------- SpNodeRemap
+        with trace.region(SP_NODE_REMAP, work=graph.num_edges, intensity="memory"):
+            index = EquiTrussIndex.from_parents(graph, tau, comp, raw_superedges)
+    finally:
+        trace.tracer.end(build_span)
 
-    # --------------------------------------------------------- SpNodeRemap
-    with trace.region(SP_NODE_REMAP, work=graph.num_edges, intensity="memory"):
-        index = EquiTrussIndex.from_parents(graph, tau, comp, raw_superedges)
-
+    metrics.inc("repro.pipeline.builds")
+    metrics.set_gauge("repro.equitruss.supernodes", index.num_supernodes)
+    metrics.set_gauge("repro.equitruss.superedges", index.num_superedges)
     return BuildResult(
         index=index, trace=trace, variant=variant, num_workers=num_workers
     )

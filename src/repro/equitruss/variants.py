@@ -29,6 +29,7 @@ from repro.cc.afforest import afforest_on_csr
 from repro.cc.core import compress
 from repro.equitruss.levels import LevelStructures
 from repro.graph.csr import CSRGraph
+from repro.obs import metrics
 
 
 # ----------------------------------------------------------------------
@@ -151,7 +152,9 @@ def spnode_baseline(
     hook_a, hook_b, se_lo, se_hi = recompute_level_tables(
         graph, trussness, k, handle=handle
     )
-    sv_rounds_noskip(comp, hook_a, hook_b, handle=handle)
+    metrics.inc("repro.equitruss.hook_pairs", int(hook_a.size))
+    rounds = sv_rounds_noskip(comp, hook_a, hook_b, handle=handle)
+    metrics.inc("repro.cc.sv_rounds", rounds)
     return se_lo, se_hi
 
 
@@ -180,6 +183,7 @@ def spnode_coptimal(
     rounds = 0
     while True:
         rounds += 1
+        metrics.inc("repro.cc.sv_rounds")
         if handle is not None:
             handle.add_round(2 * a.size)
         ca, cb = comp[a], comp[b]

@@ -1,0 +1,115 @@
+"""Per-kernel regression diffing of two trace files.
+
+``diff_traces`` aggregates each trace by span name and flags names whose
+time grew beyond a relative ``threshold`` (and an absolute
+``min_seconds`` floor, so microsecond noise on tiny kernels never
+trips). The benchmark harness dumps a trace per run (see
+``benchmarks/conftest.py``); diffing yesterday's file against today's is
+the regression gate for every perf PR.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.obs.report import aggregate_spans
+
+
+@dataclass(frozen=True)
+class DiffEntry:
+    """One span name compared across the base and new traces."""
+
+    name: str
+    base_seconds: float
+    new_seconds: float
+    regressed: bool
+
+    @property
+    def ratio(self) -> float:
+        """new / base (``inf`` for names absent from the base trace)."""
+        if self.base_seconds <= 0.0:
+            return float("inf") if self.new_seconds > 0.0 else 1.0
+        return self.new_seconds / self.base_seconds
+
+
+@dataclass
+class TraceDiff:
+    """Full comparison result."""
+
+    entries: list[DiffEntry] = field(default_factory=list)
+    threshold: float = 0.10
+    min_seconds: float = 0.0
+
+    @property
+    def regressions(self) -> list[DiffEntry]:
+        return [e for e in self.entries if e.regressed]
+
+    @property
+    def ok(self) -> bool:
+        return not self.regressions
+
+    def format(self) -> str:
+        if not self.entries:
+            return "(no spans to compare)"
+        name_w = max(len(e.name) for e in self.entries)
+        lines = [
+            f"{'span'.ljust(name_w)}  {'base':>10}  {'new':>10}  {'ratio':>7}  flag"
+        ]
+        for e in self.entries:
+            ratio = "new" if e.ratio == float("inf") else f"{e.ratio:6.2f}x"
+            flag = "REGRESSED" if e.regressed else "ok"
+            lines.append(
+                f"{e.name.ljust(name_w)}  {e.base_seconds:9.4f}s  "
+                f"{e.new_seconds:9.4f}s  {ratio:>7}  {flag}"
+            )
+        n = len(self.regressions)
+        lines.append(
+            f"{n} regression(s) beyond +{100 * self.threshold:.0f}% "
+            f"(min {self.min_seconds:.4f}s)"
+        )
+        return "\n".join(lines)
+
+
+def diff_traces(
+    base,
+    new,
+    threshold: float = 0.10,
+    min_seconds: float = 0.001,
+    include=None,
+) -> TraceDiff:
+    """Compare two traces (tracers or loaded span records) by span name.
+
+    A name regresses when ``new > base * (1 + threshold)`` **and** the
+    absolute growth exceeds ``min_seconds``. Names only present in the
+    new trace regress when they alone exceed ``min_seconds``.
+    """
+    base_agg = aggregate_spans(base, include=include)
+    new_agg = aggregate_spans(new, include=include)
+    entries: list[DiffEntry] = []
+    for name in {**base_agg, **new_agg}:  # first-seen: base order, then new-only
+        b = base_agg.get(name, 0.0)
+        n = new_agg.get(name, 0.0)
+        regressed = n > b * (1.0 + threshold) and (n - b) > min_seconds
+        entries.append(
+            DiffEntry(name=name, base_seconds=b, new_seconds=n, regressed=regressed)
+        )
+    return TraceDiff(entries=entries, threshold=threshold, min_seconds=min_seconds)
+
+
+def diff_trace_files(
+    base_path,
+    new_path,
+    threshold: float = 0.10,
+    min_seconds: float = 0.001,
+    include=None,
+) -> TraceDiff:
+    """:func:`diff_traces` over two saved JSONL trace files."""
+    from repro.obs.export import read_trace_jsonl
+
+    return diff_traces(
+        read_trace_jsonl(base_path),
+        read_trace_jsonl(new_path),
+        threshold=threshold,
+        min_seconds=min_seconds,
+        include=include,
+    )

@@ -1,0 +1,161 @@
+"""Trace / metrics file formats.
+
+Two artifacts, both line- or document-oriented JSON so they diff and
+grep cleanly:
+
+* **Trace JSONL** (``--trace-out``): first line is a meta record
+  ``{"type": "meta", "schema": "repro.trace", "version": 1}``; every
+  following line is one span::
+
+      {"type": "span", "id": 3, "parent": 1, "depth": 2,
+       "name": "SpNode", "start": 0.0123, "seconds": 0.0045,
+       "attrs": {"work": 812, "rounds": 3, "intensity": "memory"}}
+
+  Ids are assigned depth-first at export time; ``parent`` is ``null``
+  for roots. ``start`` is seconds relative to the tracer epoch.
+
+* **Metrics JSON** (``--metrics-out``): one document
+  ``{"schema": "repro.metrics", "version": 1, "metrics": {...}}`` with
+  the flat name → value snapshot of a :class:`~repro.obs.metrics.MetricsRegistry`.
+
+``read_*`` validate the schema header and per-record shape, raising
+:class:`~repro.errors.GraphFormatError` on malformed input, so a
+round-trip is also a validation pass.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.errors import GraphFormatError
+from repro.obs.metrics import METRICS_SCHEMA_VERSION, MetricsRegistry
+from repro.obs.trace import TRACE_SCHEMA_VERSION, Tracer
+
+TRACE_SCHEMA = "repro.trace"
+METRICS_SCHEMA = "repro.metrics"
+
+_SPAN_FIELDS = {"type", "id", "parent", "depth", "name", "start", "seconds", "attrs"}
+
+
+def trace_records(tracer: Tracer) -> list[dict]:
+    """Flatten a tracer's span forest into export records (meta first)."""
+    records: list[dict] = [
+        {"type": "meta", "schema": TRACE_SCHEMA, "version": TRACE_SCHEMA_VERSION}
+    ]
+    next_id = 0
+
+    def emit(sp, parent_id, depth) -> None:
+        nonlocal next_id
+        sid = next_id
+        next_id += 1
+        records.append(
+            {
+                "type": "span",
+                "id": sid,
+                "parent": parent_id,
+                "depth": depth,
+                "name": sp.name,
+                "start": sp.start,
+                "seconds": sp.seconds,
+                "attrs": dict(sp.attrs),
+            }
+        )
+        for child in sp.children:
+            emit(child, sid, depth + 1)
+
+    for root in tracer.roots:
+        emit(root, None, 0)
+    return records
+
+
+def write_trace_jsonl(tracer_or_records, path) -> Path:
+    """Write a tracer (or prebuilt records) as JSONL; returns the path."""
+    if isinstance(tracer_or_records, Tracer):
+        records = trace_records(tracer_or_records)
+    else:
+        records = list(tracer_or_records)
+    path = Path(path)
+    with path.open("w", encoding="utf-8") as fh:
+        for rec in records:
+            fh.write(json.dumps(rec, sort_keys=True) + "\n")
+    return path
+
+
+def _validate_span(rec: dict, lineno: int) -> dict:
+    missing = _SPAN_FIELDS - rec.keys()
+    if missing:
+        raise GraphFormatError(
+            f"trace line {lineno}: span record missing fields {sorted(missing)}"
+        )
+    if not isinstance(rec["name"], str) or not rec["name"]:
+        raise GraphFormatError(f"trace line {lineno}: span name must be a string")
+    for key in ("start", "seconds"):
+        if not isinstance(rec[key], (int, float)):
+            raise GraphFormatError(f"trace line {lineno}: {key} must be numeric")
+    if not isinstance(rec["attrs"], dict):
+        raise GraphFormatError(f"trace line {lineno}: attrs must be an object")
+    return rec
+
+
+def read_trace_jsonl(path) -> list[dict]:
+    """Load and validate a trace file; returns the span records only."""
+    path = Path(path)
+    spans: list[dict] = []
+    with path.open("r", encoding="utf-8") as fh:
+        lines = [ln for ln in fh.read().splitlines() if ln.strip()]
+    if not lines:
+        raise GraphFormatError(f"{path}: empty trace file")
+    try:
+        meta = json.loads(lines[0])
+    except json.JSONDecodeError as exc:
+        raise GraphFormatError(f"{path}: invalid JSON on line 1: {exc}") from exc
+    if meta.get("type") != "meta" or meta.get("schema") != TRACE_SCHEMA:
+        raise GraphFormatError(
+            f"{path}: first line must be the {TRACE_SCHEMA!r} meta record"
+        )
+    for lineno, line in enumerate(lines[1:], start=2):
+        try:
+            rec = json.loads(line)
+        except json.JSONDecodeError as exc:
+            raise GraphFormatError(
+                f"{path}: invalid JSON on line {lineno}: {exc}"
+            ) from exc
+        if rec.get("type") != "span":
+            raise GraphFormatError(
+                f"{path} line {lineno}: expected a span record, got "
+                f"{rec.get('type')!r}"
+            )
+        spans.append(_validate_span(rec, lineno))
+    return spans
+
+
+def write_metrics_json(registry_or_dict, path) -> Path:
+    """Write a metrics snapshot document; returns the path."""
+    if isinstance(registry_or_dict, MetricsRegistry):
+        metrics = registry_or_dict.as_dict()
+    else:
+        metrics = dict(registry_or_dict)
+    doc = {
+        "schema": METRICS_SCHEMA,
+        "version": METRICS_SCHEMA_VERSION,
+        "metrics": metrics,
+    }
+    path = Path(path)
+    path.write_text(json.dumps(doc, indent=2, sort_keys=True) + "\n", encoding="utf-8")
+    return path
+
+
+def read_metrics_json(path) -> dict:
+    """Load and validate a metrics file; returns the name → value map."""
+    path = Path(path)
+    try:
+        doc = json.loads(path.read_text(encoding="utf-8"))
+    except json.JSONDecodeError as exc:
+        raise GraphFormatError(f"{path}: invalid JSON: {exc}") from exc
+    if doc.get("schema") != METRICS_SCHEMA:
+        raise GraphFormatError(f"{path}: not a {METRICS_SCHEMA!r} document")
+    metrics = doc.get("metrics")
+    if not isinstance(metrics, dict):
+        raise GraphFormatError(f"{path}: 'metrics' must be an object")
+    return metrics

@@ -1,0 +1,70 @@
+"""Structured (key=value) logging setup for the ``repro`` logger tree.
+
+One call wires the whole CLI::
+
+    from repro.obs.logging import setup_logging, kv
+    log = setup_logging("info")
+    log.info(kv("build_index", variant="afforest", edges=12345))
+
+emits::
+
+    2026-08-06T12:00:00 level=info logger=repro event=build_index variant=afforest edges=12345
+
+Messages are plain ``key=value`` pairs (values with spaces are quoted)
+so traces grep and parse with standard tooling — no JSON log dependency.
+"""
+
+from __future__ import annotations
+
+import logging
+import sys
+
+from repro.errors import InvalidParameterError
+
+LEVELS = ("debug", "info", "warning", "error")
+
+_FORMAT = "%(asctime)s level=%(levelname)s logger=%(name)s %(message)s"
+_DATEFMT = "%Y-%m-%dT%H:%M:%S"
+
+
+def kv(event: str, **fields) -> str:
+    """Format an event name plus fields as a ``key=value`` record."""
+    parts = [f"event={event}"]
+    for key, value in fields.items():
+        text = str(value)
+        if " " in text or "=" in text or '"' in text:
+            text = '"' + text.replace('"', '\\"') + '"'
+        parts.append(f"{key}={text}")
+    return " ".join(parts)
+
+
+class _LowercaseLevelFormatter(logging.Formatter):
+    """``level=info`` reads better in key=value lines than ``INFO``."""
+
+    def format(self, record: logging.LogRecord) -> str:
+        record.levelname = record.levelname.lower()
+        return super().format(record)
+
+
+def setup_logging(level: str = "info", stream=None) -> logging.Logger:
+    """Configure and return the root ``repro`` logger.
+
+    Idempotent: repeated calls reconfigure the level and replace the
+    handler rather than stacking duplicates.
+    """
+    if level not in LEVELS:
+        raise InvalidParameterError(f"log level must be one of {LEVELS}, got {level!r}")
+    logger = logging.getLogger("repro")
+    logger.setLevel(getattr(logging, level.upper()))
+    for handler in list(logger.handlers):
+        logger.removeHandler(handler)
+    handler = logging.StreamHandler(stream or sys.stderr)
+    handler.setFormatter(_LowercaseLevelFormatter(_FORMAT, datefmt=_DATEFMT))
+    logger.addHandler(handler)
+    logger.propagate = False
+    return logger
+
+
+def get_logger(name: str) -> logging.Logger:
+    """Child logger under the ``repro`` tree (``repro.<name>``)."""
+    return logging.getLogger(f"repro.{name}")

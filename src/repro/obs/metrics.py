@@ -1,0 +1,196 @@
+"""Metrics registry: counters, gauges, and histograms.
+
+Metric names are stable, dotted, and namespaced under ``repro.*``
+(``repro.triangles.enumerated``, ``repro.truss.peel_rounds``, ...); the
+full catalogue lives in the Observability section of
+``docs/architecture.md``. Algorithms report through the module-level
+helpers (:func:`inc`, :func:`set_gauge`, :func:`observe`) which target
+the *active* registry — the process-wide default, unless a test or a
+driver installs its own with :func:`use_registry`.
+
+All mutation goes through a per-registry lock so the thread backend and
+the SPMD simulator can report concurrently.
+"""
+
+from __future__ import annotations
+
+import re
+import threading
+from collections.abc import Iterator
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+
+from repro.errors import InvalidParameterError
+
+#: Schema version stamped into exported metric files.
+METRICS_SCHEMA_VERSION = 1
+
+_NAME_RE = re.compile(r"^[a-z][a-z0-9_]*(\.[a-z0-9_]+)+$")
+
+
+def _check_name(name: str) -> str:
+    if not _NAME_RE.match(name):
+        raise InvalidParameterError(
+            f"metric name must be dotted lower_snake (e.g. 'repro.truss.kmax'), "
+            f"got {name!r}"
+        )
+    return name
+
+
+@dataclass
+class Counter:
+    """Monotonically increasing count."""
+
+    name: str
+    value: float = 0
+
+    def inc(self, n: float = 1) -> None:
+        if n < 0:
+            raise InvalidParameterError(f"counter {self.name} increment < 0: {n}")
+        self.value += n
+
+    def as_value(self):
+        return self.value
+
+
+@dataclass
+class Gauge:
+    """Last-written (or maximum) instantaneous value."""
+
+    name: str
+    value: float = 0
+
+    def set(self, v: float) -> None:
+        self.value = v
+
+    def set_max(self, v: float) -> None:
+        """Keep the running maximum (peak frontier size, high-water marks)."""
+        self.value = max(self.value, v)
+
+    def as_value(self):
+        return self.value
+
+
+@dataclass
+class Histogram:
+    """Streaming distribution summary (count/sum/min/max/mean).
+
+    Keeps the first ``keep`` raw observations for tests and reports;
+    beyond that only the running summary is updated.
+    """
+
+    name: str
+    keep: int = 1024
+    count: int = 0
+    total: float = 0.0
+    min: float = float("inf")
+    max: float = float("-inf")
+    samples: list = field(default_factory=list)
+
+    def observe(self, v: float) -> None:
+        self.count += 1
+        self.total += v
+        self.min = min(self.min, v)
+        self.max = max(self.max, v)
+        if len(self.samples) < self.keep:
+            self.samples.append(v)
+
+    def as_value(self) -> dict:
+        if self.count == 0:
+            return {"count": 0, "sum": 0, "min": None, "max": None, "mean": None}
+        return {
+            "count": self.count,
+            "sum": self.total,
+            "min": self.min,
+            "max": self.max,
+            "mean": self.total / self.count,
+        }
+
+
+class MetricsRegistry:
+    """Name → instrument table with get-or-create accessors."""
+
+    def __init__(self) -> None:
+        self._metrics: dict[str, Counter | Gauge | Histogram] = {}
+        self._lock = threading.Lock()
+
+    def _get(self, name: str, cls):
+        _check_name(name)
+        with self._lock:
+            existing = self._metrics.get(name)
+            if existing is None:
+                existing = self._metrics[name] = cls(name=name)
+            elif not isinstance(existing, cls):
+                raise InvalidParameterError(
+                    f"metric {name!r} already registered as "
+                    f"{type(existing).__name__}, not {cls.__name__}"
+                )
+            return existing
+
+    def counter(self, name: str) -> Counter:
+        return self._get(name, Counter)
+
+    def gauge(self, name: str) -> Gauge:
+        return self._get(name, Gauge)
+
+    def histogram(self, name: str) -> Histogram:
+        return self._get(name, Histogram)
+
+    def names(self) -> list[str]:
+        with self._lock:
+            return list(self._metrics)
+
+    def as_dict(self) -> dict:
+        """Flat JSON-able snapshot: name → value (or histogram summary)."""
+        with self._lock:
+            return {name: m.as_value() for name, m in self._metrics.items()}
+
+    def reset(self) -> None:
+        with self._lock:
+            self._metrics.clear()
+
+
+# ----------------------------------------------------------------------
+# Active registry + reporting helpers
+# ----------------------------------------------------------------------
+
+_DEFAULT = MetricsRegistry()
+_ACTIVE: MetricsRegistry = _DEFAULT
+
+
+def get_registry() -> MetricsRegistry:
+    """The registry reporting helpers currently target."""
+    return _ACTIVE
+
+
+@contextmanager
+def use_registry(registry: MetricsRegistry) -> Iterator[MetricsRegistry]:
+    """Route :func:`inc`/:func:`set_gauge`/:func:`observe` to ``registry``."""
+    global _ACTIVE
+    prev = _ACTIVE
+    _ACTIVE = registry
+    try:
+        yield registry
+    finally:
+        _ACTIVE = prev
+
+
+def reset_metrics() -> None:
+    """Clear the active registry (start of a CLI run / test)."""
+    _ACTIVE.reset()
+
+
+def inc(name: str, n: float = 1) -> None:
+    _ACTIVE.counter(name).inc(n)
+
+
+def set_gauge(name: str, v: float) -> None:
+    _ACTIVE.gauge(name).set(v)
+
+
+def set_gauge_max(name: str, v: float) -> None:
+    _ACTIVE.gauge(name).set_max(v)
+
+
+def observe(name: str, v: float) -> None:
+    _ACTIVE.histogram(name).observe(v)

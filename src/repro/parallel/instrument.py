@@ -14,16 +14,24 @@ Every algorithm kernel wraps its parallel regions in
 * ``parallel`` — ``False`` marks inherently serial sections.
 
 The trace feeds :class:`repro.parallel.simulate.SimulatedMachine`.
+
+Since the observability refactor every region is also recorded as a
+span on the instrumentation's :class:`repro.obs.trace.Tracer`
+(``Instrumentation.tracer``), preserving nesting — a region opened
+inside another region (or inside an explicit ``tracer.span``) becomes a
+child span. The flat ``regions`` list and all derived aggregates keep
+their exact pre-refactor semantics; the tracer adds the hierarchy and
+the JSONL export path on top.
 """
 
 from __future__ import annotations
 
-import time
 from collections.abc import Iterator
 from contextlib import contextmanager
 from dataclasses import dataclass, field
 
 from repro.errors import InvalidParameterError
+from repro.obs.trace import Tracer
 
 #: Valid arithmetic-intensity classes.
 INTENSITIES = ("compute", "mixed", "memory")
@@ -51,9 +59,16 @@ class Region:
 
 @dataclass
 class Instrumentation:
-    """Accumulates a trace of :class:`Region` records."""
+    """Accumulates a trace of :class:`Region` records.
+
+    Backed by a :class:`~repro.obs.trace.Tracer`: every region doubles
+    as a span carrying ``work``/``rounds``/``intensity``/``parallel`` as
+    attributes, so exporting ``instrumentation.tracer`` yields the full
+    hierarchical run trace.
+    """
 
     regions: list[Region] = field(default_factory=list)
+    tracer: Tracer = field(default_factory=Tracer)
 
     @contextmanager
     def region(
@@ -67,16 +82,20 @@ class Instrumentation:
         """Time a region; ``work``/``rounds`` may be updated via the handle
         when they are only known after execution."""
         handle = _RegionHandle(work=work, rounds=rounds)
-        start = time.perf_counter()
+        sp = self.tracer.begin(name, intensity=intensity, parallel=parallel)
         try:
             yield handle
         finally:
+            final_work = max(int(handle.work), 1)
+            final_rounds = max(int(handle.rounds), 1)
+            sp.set(work=final_work, rounds=final_rounds)
+            self.tracer.end(sp)
             self.regions.append(
                 Region(
                     name=name,
-                    seconds=time.perf_counter() - start,
-                    work=max(int(handle.work), 1),
-                    rounds=max(int(handle.rounds), 1),
+                    seconds=sp.seconds,
+                    work=final_work,
+                    rounds=final_rounds,
                     intensity=intensity,
                     parallel=parallel,
                 )
@@ -84,9 +103,18 @@ class Instrumentation:
 
     def add(self, region: Region) -> None:
         self.regions.append(region)
+        self.tracer.add(
+            region.name,
+            region.seconds,
+            work=region.work,
+            rounds=region.rounds,
+            intensity=region.intensity,
+            parallel=region.parallel,
+        )
 
     def extend(self, other: "Instrumentation") -> None:
         self.regions.extend(other.regions)
+        self.tracer.graft(other.tracer)
 
     @property
     def total_seconds(self) -> float:

@@ -20,6 +20,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.graph.csr import CSRGraph
+from repro.obs import metrics
 from repro.utils.validation import check_positive
 
 
@@ -162,4 +163,7 @@ def enumerate_triangles(
         e_vw = np.concatenate(parts_vw)
     else:
         e_uv = e_uw = e_vw = np.empty(0, dtype=np.int64)
-    return TriangleSet(e_uv=e_uv, e_uw=e_uw, e_vw=e_vw, num_edges=graph.num_edges)
+    result = TriangleSet(e_uv=e_uv, e_uw=e_uw, e_vw=e_vw, num_edges=graph.num_edges)
+    metrics.inc("repro.triangles.enumerated", result.count)
+    metrics.inc("repro.triangles.enumerations")
+    return result

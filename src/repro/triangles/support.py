@@ -8,6 +8,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.graph.csr import CSRGraph
+from repro.obs import metrics
 from repro.parallel.api import ExecutionPolicy
 from repro.triangles.enumerate import TriangleSet, enumerate_triangles
 
@@ -30,7 +31,10 @@ def compute_support(
         if triangles is None:
             triangles = enumerate_triangles(graph)
         handle.work = max(triangles.count, graph.num_edges, 1)
-        return triangles.support()
+        support = triangles.support()
+        if support.size:
+            metrics.set_gauge_max("repro.triangles.support_max", int(support.max()))
+        return support
 
 
 def support_histogram(support: np.ndarray) -> np.ndarray:

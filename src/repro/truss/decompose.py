@@ -21,6 +21,7 @@ import numpy as np
 
 from repro.errors import InvalidParameterError
 from repro.graph.csr import CSRGraph
+from repro.obs import metrics
 from repro.parallel.api import ExecutionPolicy
 from repro.triangles.enumerate import TriangleSet, enumerate_triangles
 from repro.triangles.incidence import EdgeTriangleIncidence
@@ -107,6 +108,7 @@ def truss_decomposition(
         rounds = 0
         k = 3
         remaining = m
+        frontier_peak = 0
         while remaining > 0:
             frontier = np.flatnonzero(alive_e & (sup < k - 2))
             if frontier.size == 0:
@@ -114,6 +116,7 @@ def truss_decomposition(
                 continue
             while frontier.size:
                 rounds += 1
+                frontier_peak = max(frontier_peak, int(frontier.size))
                 handle.add_round(int(frontier.size))
                 tau[frontier] = k - 1
                 alive_e[frontier] = False
@@ -137,7 +140,11 @@ def truss_decomposition(
                 frontier = np.flatnonzero(alive_e & (sup < k - 2))
             k += 1
 
-    return TrussDecomposition(trussness=tau, support=support0, peel_rounds=rounds)
+    result = TrussDecomposition(trussness=tau, support=support0, peel_rounds=rounds)
+    metrics.inc("repro.truss.peel_rounds", rounds)
+    metrics.set_gauge_max("repro.truss.frontier_peak", frontier_peak)
+    metrics.set_gauge("repro.truss.kmax", result.kmax)
+    return result
 
 
 def truss_decomposition_serial(

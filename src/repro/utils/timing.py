@@ -11,7 +11,9 @@ from __future__ import annotations
 import time
 from collections.abc import Iterator
 from contextlib import contextmanager
-from dataclasses import dataclass, field
+from dataclasses import dataclass
+
+from repro.obs.trace import Tracer
 
 
 @dataclass
@@ -33,6 +35,10 @@ class Timer:
         with Timer() as t:
             work()
         print(t.elapsed)
+
+    ``start``/``stop`` must alternate: starting a running timer or
+    stopping a stopped one raises :class:`RuntimeError` (a double
+    ``start`` would silently discard the first measurement's origin).
     """
 
     def __init__(self) -> None:
@@ -40,6 +46,8 @@ class Timer:
         self.elapsed: float = 0.0
 
     def start(self) -> "Timer":
+        if self._start is not None:
+            raise RuntimeError("Timer.start() called while already running")
         self._start = time.perf_counter()
         return self
 
@@ -63,43 +71,45 @@ class KernelTimer:
     Spans with the same name accumulate, which matches how the paper's
     per-kernel numbers are produced (a kernel such as ``SpNode`` runs once
     per trussness level and the level times are summed).
+
+    .. deprecated::
+        ``KernelTimer`` is now a thin flat-aggregation adapter over
+        :class:`repro.obs.trace.Tracer` (exposed as :attr:`tracer`).
+        New code should open spans on a ``Tracer`` directly — it records
+        the same totals plus hierarchy, attributes, and JSONL export.
+        This adapter is kept so existing harness call sites and result
+        files keep working unchanged.
     """
 
-    def __init__(self) -> None:
-        self._totals: dict[str, float] = {}
-        self._order: list[str] = []
+    def __init__(self, tracer: Tracer | None = None) -> None:
+        self.tracer = tracer if tracer is not None else Tracer()
 
     @contextmanager
     def span(self, name: str) -> Iterator[None]:
-        start = time.perf_counter()
-        try:
+        with self.tracer.span(name):
             yield
-        finally:
-            self.add(name, time.perf_counter() - start)
 
     def add(self, name: str, seconds: float) -> None:
-        if name not in self._totals:
-            self._totals[name] = 0.0
-            self._order.append(name)
-        self._totals[name] += seconds
+        self.tracer.add(name, seconds)
 
     def seconds(self, name: str) -> float:
-        return self._totals.get(name, 0.0)
+        return self.tracer.by_name().get(name, 0.0)
 
     @property
     def total(self) -> float:
-        return sum(self._totals.values())
+        return sum(self.tracer.by_name().values())
 
     def breakdown(self) -> list[TimingRecord]:
         """Timing records in first-seen order."""
-        return [TimingRecord(n, self._totals[n]) for n in self._order]
+        return [TimingRecord(n, s) for n, s in self.tracer.by_name().items()]
 
     def percentages(self) -> dict[str, float]:
         """Per-kernel share of the total, in percent (0 if nothing timed)."""
-        total = self.total
+        agg = self.tracer.by_name()
+        total = sum(agg.values())
         if total <= 0.0:
-            return {n: 0.0 for n in self._order}
-        return {n: 100.0 * self._totals[n] / total for n in self._order}
+            return {n: 0.0 for n in agg}
+        return {n: 100.0 * s / total for n, s in agg.items()}
 
     def merge(self, other: "KernelTimer") -> None:
         for rec in other.breakdown():

@@ -1,0 +1,74 @@
+"""End-to-end observability smoke test.
+
+Mirrors the acceptance criterion: ``python -m repro index`` on a small
+RMAT graph with ``--trace-out``/``--metrics-out`` must produce a JSONL
+trace covering all six paper kernels and a metrics JSON with at least 8
+distinct names; the trace diffed against itself reports zero
+regressions, and both files round-trip through the schema validators.
+"""
+
+import pytest
+
+from repro.cli import main
+from repro.equitruss.kernels import KERNELS
+from repro.obs.diff import diff_trace_files
+from repro.obs.export import read_metrics_json, read_trace_jsonl
+
+
+@pytest.fixture(scope="module")
+def run_artifacts(tmp_path_factory):
+    tmp = tmp_path_factory.mktemp("obs_smoke")
+    graph = tmp / "g.npz"
+    assert main(["generate", "rmat", "--scale", "7", "--edge-factor", "8",
+                 "--seed", "3", "--out", str(graph)]) == 0
+    trace = tmp / "t.jsonl"
+    metrics = tmp / "m.json"
+    assert main(["index", str(graph), "--variant", "afforest",
+                 "--out", str(tmp / "i.npz"),
+                 "--trace-out", str(trace), "--metrics-out", str(metrics)]) == 0
+    return trace, metrics
+
+
+def test_trace_covers_all_six_paper_kernels(run_artifacts):
+    trace, _ = run_artifacts
+    spans = read_trace_jsonl(trace)  # read_* validates the schema
+    names = {r["name"] for r in spans}
+    assert set(KERNELS) <= names, f"missing kernels: {set(KERNELS) - names}"
+    # hierarchy: per-level wrapper spans carry the k attribute
+    level_ks = [r["attrs"]["k"] for r in spans if r["name"] == "Level"]
+    assert level_ks == sorted(level_ks) and len(level_ks) >= 1
+    roots = [r for r in spans if r["parent"] is None]
+    assert [r["name"] for r in roots] == ["BuildIndex"]
+
+
+def test_metrics_snapshot_has_enough_distinct_names(run_artifacts):
+    _, metrics = run_artifacts
+    loaded = read_metrics_json(metrics)
+    assert len(loaded) >= 8
+    assert all(name.startswith("repro.") for name in loaded)
+    assert loaded["repro.pipeline.builds"] == 1
+    assert loaded["repro.equitruss.supernodes"] > 0
+    assert loaded["repro.truss.kmax"] >= 3
+
+
+def test_self_diff_reports_zero_regressions(run_artifacts):
+    trace, _ = run_artifacts
+    diff = diff_trace_files(trace, trace)
+    assert diff.ok
+    assert "0 regression(s)" in diff.format()
+
+
+def test_info_trace_prints_breakdown(run_artifacts, capsys):
+    trace, _ = run_artifacts
+    assert main(["info", "--trace", str(trace)]) == 0
+    out = capsys.readouterr().out
+    for kernel in KERNELS:
+        assert kernel in out
+    assert main(["info", "--trace", str(trace), "--flame"]) == 0
+    out = capsys.readouterr().out
+    assert "BuildIndex" in out and "Level" in out
+
+
+def test_info_without_file_or_trace_errors(capsys):
+    assert main(["info"]) == 2
+    assert "required" in capsys.readouterr().err

@@ -1,0 +1,65 @@
+"""Trace diffing: self-diff clean, regressions flagged, noise floor."""
+
+from repro.obs.diff import diff_trace_files, diff_traces
+from repro.obs.export import write_trace_jsonl
+from repro.obs.trace import Tracer
+
+
+def _tracer(**seconds_by_name) -> Tracer:
+    tracer = Tracer()
+    for name, secs in seconds_by_name.items():
+        tracer.add(name, secs)
+    return tracer
+
+
+def test_self_diff_reports_zero_regressions():
+    t = _tracer(Support=0.5, SpNode=1.0)
+    diff = diff_traces(t, t)
+    assert diff.ok
+    assert diff.regressions == []
+    assert all(e.ratio == 1.0 for e in diff.entries)
+
+
+def test_regression_flagged_beyond_threshold():
+    base = _tracer(SpNode=1.0, SpEdge=0.5)
+    new = _tracer(SpNode=1.5, SpEdge=0.5)
+    diff = diff_traces(base, new, threshold=0.10)
+    assert not diff.ok
+    assert [e.name for e in diff.regressions] == ["SpNode"]
+    assert diff.regressions[0].ratio == 1.5
+    assert "REGRESSED" in diff.format()
+
+
+def test_growth_within_threshold_is_ok():
+    base = _tracer(SpNode=1.0)
+    new = _tracer(SpNode=1.05)
+    assert diff_traces(base, new, threshold=0.10).ok
+
+
+def test_min_seconds_floor_suppresses_noise():
+    base = _tracer(SmGraph=0.0001)
+    new = _tracer(SmGraph=0.0005)  # 5x, but far below the floor
+    assert diff_traces(base, new, threshold=0.10, min_seconds=0.001).ok
+    assert not diff_traces(base, new, threshold=0.10, min_seconds=0.0).ok
+
+
+def test_new_span_name_counts_as_regression_when_material():
+    base = _tracer(SpNode=1.0)
+    new = _tracer(SpNode=1.0, Extra=0.5)
+    diff = diff_traces(base, new)
+    assert [e.name for e in diff.regressions] == ["Extra"]
+    assert diff.regressions[0].ratio == float("inf")
+
+
+def test_include_filter_limits_comparison():
+    base = _tracer(SpNode=1.0, Wrapper=5.0)
+    new = _tracer(SpNode=1.0, Wrapper=50.0)
+    assert diff_traces(base, new, include=["SpNode"]).ok
+
+
+def test_diff_trace_files_roundtrip(tmp_path):
+    t = _tracer(Support=0.5, SpNode=1.0)
+    path = write_trace_jsonl(t, tmp_path / "run.jsonl")
+    diff = diff_trace_files(path, path)
+    assert diff.ok
+    assert "0 regression(s)" in diff.format()

@@ -1,0 +1,101 @@
+"""JSONL trace / JSON metrics export, import, and schema validation."""
+
+import json
+
+import pytest
+
+from repro.errors import GraphFormatError
+from repro.obs.export import (
+    read_metrics_json,
+    read_trace_jsonl,
+    trace_records,
+    write_metrics_json,
+    write_trace_jsonl,
+)
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.trace import Tracer
+
+
+def _sample_tracer() -> Tracer:
+    tracer = Tracer()
+    with tracer.span("BuildIndex", variant="afforest"):
+        with tracer.span("Support"):
+            pass
+        with tracer.span("Level", k=3):
+            with tracer.span("SpNode") as sp:
+                sp.set(work=10, rounds=2)
+    return tracer
+
+
+def test_trace_records_shape():
+    records = trace_records(_sample_tracer())
+    assert records[0] == {"type": "meta", "schema": "repro.trace", "version": 1}
+    spans = records[1:]
+    assert [r["name"] for r in spans] == ["BuildIndex", "Support", "Level", "SpNode"]
+    assert [r["depth"] for r in spans] == [0, 1, 1, 2]
+    by_id = {r["id"]: r for r in spans}
+    spnode = spans[3]
+    assert by_id[spnode["parent"]]["name"] == "Level"
+    assert spans[0]["parent"] is None
+    assert spnode["attrs"] == {"work": 10, "rounds": 2}
+
+
+def test_trace_jsonl_roundtrip(tmp_path):
+    tracer = _sample_tracer()
+    path = write_trace_jsonl(tracer, tmp_path / "t.jsonl")
+    spans = read_trace_jsonl(path)
+    assert [r["name"] for r in spans] == ["BuildIndex", "Support", "Level", "SpNode"]
+    # writing the loaded records back reproduces the file byte-for-byte
+    meta = {"type": "meta", "schema": "repro.trace", "version": 1}
+    path2 = write_trace_jsonl([meta, *spans], tmp_path / "t2.jsonl")
+    assert path.read_text() == path2.read_text()
+
+
+def test_trace_validation_errors(tmp_path):
+    empty = tmp_path / "empty.jsonl"
+    empty.write_text("")
+    with pytest.raises(GraphFormatError, match="empty"):
+        read_trace_jsonl(empty)
+
+    no_meta = tmp_path / "no_meta.jsonl"
+    no_meta.write_text(json.dumps({"type": "span"}) + "\n")
+    with pytest.raises(GraphFormatError, match="meta"):
+        read_trace_jsonl(no_meta)
+
+    bad_span = tmp_path / "bad.jsonl"
+    bad_span.write_text(
+        json.dumps({"type": "meta", "schema": "repro.trace", "version": 1})
+        + "\n"
+        + json.dumps({"type": "span", "name": "x"})
+        + "\n"
+    )
+    with pytest.raises(GraphFormatError, match="missing fields"):
+        read_trace_jsonl(bad_span)
+
+    bad_json = tmp_path / "badjson.jsonl"
+    bad_json.write_text("{not json\n")
+    with pytest.raises(GraphFormatError, match="invalid JSON"):
+        read_trace_jsonl(bad_json)
+
+
+def test_metrics_roundtrip(tmp_path):
+    reg = MetricsRegistry()
+    reg.counter("repro.test.a").inc(3)
+    reg.histogram("repro.test.h").observe(2.0)
+    path = write_metrics_json(reg, tmp_path / "m.json")
+    loaded = read_metrics_json(path)
+    assert loaded["repro.test.a"] == 3
+    assert loaded["repro.test.h"]["count"] == 1
+    # plain dicts work too
+    path2 = write_metrics_json(loaded, tmp_path / "m2.json")
+    assert read_metrics_json(path2) == loaded
+
+
+def test_metrics_validation_errors(tmp_path):
+    bad = tmp_path / "bad.json"
+    bad.write_text(json.dumps({"schema": "other"}))
+    with pytest.raises(GraphFormatError, match="repro.metrics"):
+        read_metrics_json(bad)
+    bad.write_text(json.dumps({"schema": "repro.metrics", "metrics": [1]}))
+    with pytest.raises(GraphFormatError, match="object"):
+        read_metrics_json(bad)

@@ -1,0 +1,50 @@
+"""Structured logging setup and key=value formatting."""
+
+import io
+import logging
+
+import pytest
+
+from repro.errors import InvalidParameterError
+from repro.obs.logging import get_logger, kv, setup_logging
+
+
+def test_kv_formats_pairs_and_quotes():
+    assert kv("build", variant="afforest", edges=10) == (
+        "event=build variant=afforest edges=10"
+    )
+    assert kv("x", path="a b") == 'event=x path="a b"'
+    assert kv("x", expr="a=b") == 'event=x expr="a=b"'
+
+
+def test_setup_logging_emits_key_value_lines():
+    stream = io.StringIO()
+    log = setup_logging("info", stream=stream)
+    log.info(kv("hello", n=1))
+    line = stream.getvalue().strip()
+    assert "level=info" in line
+    assert "logger=repro" in line
+    assert "event=hello n=1" in line
+
+
+def test_setup_logging_idempotent_and_level_filter():
+    stream = io.StringIO()
+    setup_logging("info", stream=stream)
+    log = setup_logging("warning", stream=stream)
+    assert len(log.handlers) == 1  # no stacked handlers
+    log.info(kv("dropped"))
+    log.warning(kv("kept"))
+    out = stream.getvalue()
+    assert "dropped" not in out
+    assert "kept" in out
+    # restore a quiet default for other tests
+    log.setLevel(logging.WARNING)
+
+
+def test_child_logger_under_repro_tree():
+    assert get_logger("cli").name == "repro.cli"
+
+
+def test_bad_level_rejected():
+    with pytest.raises(InvalidParameterError):
+        setup_logging("verbose")

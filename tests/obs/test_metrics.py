@@ -1,0 +1,97 @@
+"""Metrics registry: instruments, naming, active-registry helpers."""
+
+import pytest
+
+from repro.errors import InvalidParameterError
+from repro.obs.metrics import (
+    MetricsRegistry,
+    get_registry,
+    inc,
+    observe,
+    set_gauge,
+    set_gauge_max,
+    use_registry,
+)
+
+
+def test_counter_accumulates_and_rejects_negative():
+    reg = MetricsRegistry()
+    c = reg.counter("repro.test.count")
+    c.inc()
+    c.inc(4)
+    assert c.value == 5
+    assert reg.counter("repro.test.count") is c  # get-or-create
+    with pytest.raises(InvalidParameterError):
+        c.inc(-1)
+
+
+def test_gauge_set_and_set_max():
+    reg = MetricsRegistry()
+    g = reg.gauge("repro.test.level")
+    g.set(7)
+    g.set(3)
+    assert g.value == 3
+    g.set_max(10)
+    g.set_max(2)
+    assert g.value == 10
+
+
+def test_histogram_summary():
+    reg = MetricsRegistry()
+    h = reg.histogram("repro.test.sizes")
+    assert h.as_value()["count"] == 0
+    for v in (1, 2, 9):
+        h.observe(v)
+    summary = h.as_value()
+    assert summary == {"count": 3, "sum": 12, "min": 1, "max": 9, "mean": 4.0}
+    assert h.samples == [1, 2, 9]
+
+
+def test_histogram_caps_raw_samples():
+    reg = MetricsRegistry()
+    h = reg.histogram("repro.test.capped")
+    h.keep = 4
+    for v in range(10):
+        h.observe(v)
+    assert len(h.samples) == 4
+    assert h.as_value()["count"] == 10
+
+
+def test_name_validation():
+    reg = MetricsRegistry()
+    with pytest.raises(InvalidParameterError):
+        reg.counter("NotNamespaced")
+    with pytest.raises(InvalidParameterError):
+        reg.counter("flat")  # must have at least one dot
+
+
+def test_type_conflict_rejected():
+    reg = MetricsRegistry()
+    reg.counter("repro.test.x")
+    with pytest.raises(InvalidParameterError):
+        reg.gauge("repro.test.x")
+
+
+def test_as_dict_snapshot():
+    reg = MetricsRegistry()
+    reg.counter("repro.test.a").inc(2)
+    reg.gauge("repro.test.b").set(1.5)
+    snap = reg.as_dict()
+    assert snap["repro.test.a"] == 2
+    assert snap["repro.test.b"] == 1.5
+    assert reg.names() == ["repro.test.a", "repro.test.b"]
+
+
+def test_module_helpers_target_active_registry():
+    mine = MetricsRegistry()
+    with use_registry(mine):
+        assert get_registry() is mine
+        inc("repro.test.hits", 3)
+        set_gauge("repro.test.depth", 2)
+        set_gauge_max("repro.test.peak", 9)
+        observe("repro.test.dist", 1.0)
+    assert mine.as_dict()["repro.test.hits"] == 3
+    assert mine.as_dict()["repro.test.peak"] == 9
+    assert get_registry() is not mine
+    # nothing leaked into the default registry under these names? the
+    # default registry is process-wide, so just assert restoration above.

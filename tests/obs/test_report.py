@@ -1,0 +1,47 @@
+"""ASCII breakdown table and flamegraph rendering."""
+
+from repro.obs.export import trace_records
+from repro.obs.report import aggregate_spans, breakdown_table, flamegraph
+from repro.obs.trace import Tracer
+
+
+def _tracer() -> Tracer:
+    tracer = Tracer()
+    with tracer.span("BuildIndex"):
+        tracer.add("Support", 1.0)
+        with tracer.span("Level", k=3):
+            tracer.add("SpNode", 2.0)
+            tracer.add("SpEdge", 1.0)
+    return tracer
+
+
+def test_aggregate_spans_include_filter_avoids_double_count():
+    tracer = _tracer()
+    agg = aggregate_spans(tracer, include=["Support", "SpNode", "SpEdge"])
+    assert agg == {"Support": 1.0, "SpNode": 2.0, "SpEdge": 1.0}
+    # unfiltered aggregation includes the wrappers
+    assert "BuildIndex" in aggregate_spans(tracer)
+
+
+def test_breakdown_table_renders_names_and_percentages():
+    out = breakdown_table(_tracer(), include=["Support", "SpNode", "SpEdge"])
+    assert "SpNode" in out and "Support" in out
+    assert "50.0%" in out  # SpNode is half of the filtered total
+    assert "total" in out
+    assert breakdown_table(Tracer()) == "(no spans)"
+
+
+def test_breakdown_table_accepts_loaded_records():
+    records = [r for r in trace_records(_tracer()) if r["type"] == "span"]
+    out = breakdown_table(records, include=["SpNode"])
+    assert "SpNode" in out
+
+
+def test_flamegraph_indents_by_depth():
+    out = flamegraph(_tracer())
+    lines = out.splitlines()
+    assert lines[0].startswith("BuildIndex")
+    assert any(line.startswith("  Support") for line in lines)
+    assert any(line.startswith("    SpNode") for line in lines)
+    assert "k=3" in out
+    assert flamegraph(Tracer()) == "(no spans)"

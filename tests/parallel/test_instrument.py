@@ -1,0 +1,119 @@
+"""Instrumentation semantics: handles, aggregation, tracer backing."""
+
+import pytest
+
+from repro.errors import InvalidParameterError
+from repro.parallel.instrument import Instrumentation, Region
+
+
+def test_region_defaults_record_unit_work_and_rounds():
+    inst = Instrumentation()
+    with inst.region("k"):
+        pass
+    (region,) = inst.regions
+    assert (region.work, region.rounds) == (1, 1)
+    assert region.parallel is True
+    assert region.seconds >= 0.0
+
+
+def test_add_round_accumulates_work_and_rounds():
+    inst = Instrumentation()
+    # the incremental-discovery pattern: open with work=0, rounds=0
+    with inst.region("sv", work=0, rounds=0) as handle:
+        handle.add_round(5)
+        handle.add_round(3)
+        handle.add_round(0)
+    (region,) = inst.regions
+    assert region.work == 8
+    assert region.rounds == 3
+
+
+def test_add_round_on_top_of_preset_totals():
+    inst = Instrumentation()
+    with inst.region("k", work=10, rounds=2) as handle:
+        handle.add_round(4)
+    (region,) = inst.regions
+    assert region.work == 14
+    assert region.rounds == 3
+
+
+def test_empty_incremental_region_clamps_to_one():
+    inst = Instrumentation()
+    with inst.region("k", work=0, rounds=0):
+        pass  # no add_round calls — clamped, never 0
+    (region,) = inst.regions
+    assert (region.work, region.rounds) == (1, 1)
+
+
+def test_by_name_first_seen_ordering_and_aggregation():
+    inst = Instrumentation()
+    inst.add(Region("b", 1.0))
+    inst.add(Region("a", 2.0))
+    inst.add(Region("b", 3.0))
+    agg = inst.by_name()
+    assert list(agg) == ["b", "a"]
+    assert agg["b"] == pytest.approx(4.0)
+    assert agg["a"] == pytest.approx(2.0)
+
+
+def test_extend_concatenates_regions_and_grafts_tracer():
+    a, b = Instrumentation(), Instrumentation()
+    with a.region("x"):
+        pass
+    with b.region("y"):
+        pass
+    a.extend(b)
+    assert [r.name for r in a.regions] == ["x", "y"]
+    assert [sp.name for sp, _ in a.tracer.walk()] == ["x", "y"]
+
+
+def test_totals_split_serial_and_parallel():
+    inst = Instrumentation()
+    inst.add(Region("p", 1.0, work=10, rounds=2))
+    inst.add(Region("s", 2.0, work=99, rounds=9, parallel=False))
+    assert inst.total_seconds == pytest.approx(3.0)
+    assert inst.serial_seconds == pytest.approx(2.0)
+    assert inst.total_work == 10  # serial regions excluded
+    assert inst.total_rounds == 2
+
+
+def test_region_records_even_on_exception():
+    inst = Instrumentation()
+    with pytest.raises(ValueError):
+        with inst.region("boom", work=0, rounds=0) as handle:
+            handle.add_round(7)
+            raise ValueError("x")
+    (region,) = inst.regions
+    assert region.name == "boom"
+    assert region.work == 7
+
+
+def test_nested_regions_nest_in_the_tracer():
+    inst = Instrumentation()
+    with inst.region("outer"):
+        with inst.region("inner"):
+            pass
+    # flat region list (pre-refactor semantics: inner closes first)
+    assert [r.name for r in inst.regions] == ["inner", "outer"]
+    # hierarchical span tree on the tracer
+    (root,) = inst.tracer.roots
+    assert root.name == "outer"
+    assert [c.name for c in root.children] == ["inner"]
+    assert root.attrs["work"] == 1
+
+
+def test_region_attrs_mirrored_onto_span():
+    inst = Instrumentation()
+    with inst.region("k", work=0, rounds=0, intensity="compute") as handle:
+        handle.add_round(5)
+    (root,) = inst.tracer.roots
+    assert root.attrs == {
+        "intensity": "compute", "parallel": True, "work": 5, "rounds": 1,
+    }
+
+
+def test_invalid_intensity_rejected():
+    with pytest.raises(InvalidParameterError):
+        Region("x", 0.1, intensity="gpu")
+    with pytest.raises(InvalidParameterError):
+        Region("x", 0.1, rounds=0)

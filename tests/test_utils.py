@@ -38,6 +38,18 @@ def test_timer_stop_before_start():
         Timer().stop()
 
 
+def test_timer_start_while_running_raises():
+    t = Timer()
+    t.start()
+    with pytest.raises(RuntimeError):
+        t.start()  # a silent restart would discard the first origin
+    # the failed start must not corrupt the running measurement
+    t.stop()
+    assert t.elapsed >= 0.0
+    t.start()  # stopped timers restart fine
+    t.stop()
+
+
 def test_kernel_timer_accumulates_by_name():
     kt = KernelTimer()
     with kt.span("a"):
@@ -69,6 +81,23 @@ def test_kernel_timer_merge():
     a.merge(b)
     assert a.seconds("k") == pytest.approx(3.0)
     assert a.seconds("j") == pytest.approx(1.0)
+
+
+def test_kernel_timer_is_backed_by_a_tracer():
+    from repro.obs.trace import Tracer
+
+    kt = KernelTimer()
+    assert isinstance(kt.tracer, Tracer)
+    with kt.span("SpNode"):
+        pass
+    kt.add("SpEdge", 0.5)
+    assert [sp.name for sp, _ in kt.tracer.walk()] == ["SpNode", "SpEdge"]
+    assert kt.seconds("SpEdge") == pytest.approx(0.5)
+
+    shared = Tracer()
+    kt2 = KernelTimer(tracer=shared)
+    kt2.add("Init", 1.0)
+    assert shared.by_name() == {"Init": 1.0}
 
 
 def test_resolve_rng():
