@@ -5,10 +5,6 @@ against a single global sort-unique, verifying output invariance and
 measuring the partitioning overhead at one real core.
 """
 
-import time
-
-import numpy as np
-
 from repro.bench import ResultWriter, TextTable, get_workload
 from repro.equitruss import build_index
 

@@ -3,6 +3,12 @@
 These repeat normally (multiple rounds) and track the throughput of the
 pieces the pipeline composes: triangle enumeration, truss peeling,
 connected components, and index construction per variant.
+
+Each index-construction benchmark also reports peak resident bytes
+alongside seconds (``extra_info``): the ``repro.mem.*`` breakdown of the
+build (graph / triangles / level tables / comp) plus the execution
+context's workspace high-water mark, so a dtype-policy regression shows
+up in the benchmark record, not just the timings.
 """
 
 import pytest
@@ -11,6 +17,8 @@ from repro.bench import get_workload
 from repro.cc import afforest, bfs_components, label_propagation, shiloach_vishkin
 from repro.equitruss import build_index
 from repro.equitruss.levels import build_level_structures
+from repro.obs import metrics
+from repro.parallel import ExecutionContext
 from repro.triangles import enumerate_triangles
 from repro.truss import truss_decomposition
 
@@ -41,17 +49,32 @@ def test_level_structures(benchmark, w):
 
 @pytest.mark.parametrize("method", [shiloach_vishkin, afforest, label_propagation, bfs_components])
 def test_connected_components(benchmark, w, method):
-    import numpy as np
-
     labels = benchmark(method, w.graph)
     assert labels.size == w.graph.num_vertices
 
 
+MEM_GAUGES = (
+    "repro.mem.graph_bytes",
+    "repro.mem.triangles_bytes",
+    "repro.mem.levels_bytes",
+    "repro.mem.comp_bytes",
+    "repro.mem.workspace_high_water",
+)
+
+
+@pytest.mark.parametrize("dtype_policy", ["auto", "int64"])
 @pytest.mark.parametrize("variant", ["baseline", "coptimal", "afforest"])
-def test_index_construction(benchmark, w, variant):
+def test_index_construction(benchmark, w, variant, dtype_policy):
+    ctx = ExecutionContext(dtype=dtype_policy)
+    graph = w.graph.astype(ctx.index_dtype(w.graph.num_vertices, w.graph.num_edges))
     res = benchmark(
         lambda: build_index(
-            w.graph, variant, decomp=w.decomp, triangles=w.triangles
+            graph, variant, decomp=w.decomp, triangles=w.triangles, ctx=ctx
         )
     )
     assert res.index.num_supernodes > 0
+    registry = metrics.get_registry()
+    mem = {name.rsplit(".", 1)[-1]: int(registry.gauge(name).value) for name in MEM_GAUGES}
+    benchmark.extra_info["dtype"] = ctx.edge_dtype(graph.num_edges).name
+    benchmark.extra_info["peak_bytes"] = sum(mem.values())
+    benchmark.extra_info.update(mem)

@@ -56,10 +56,13 @@ from repro.distributed import (
     distributed_triangle_count,
 )
 from repro.parallel import (
+    DtypePolicy,
+    ExecutionContext,
     ExecutionPolicy,
     Instrumentation,
     MachineProfile,
     SimulatedMachine,
+    Workspace,
 )
 
 __all__ = [
@@ -108,8 +111,11 @@ __all__ = [
     "distributed_support",
     "distributed_triangle_count",
     # parallel runtime
+    "DtypePolicy",
+    "ExecutionContext",
     "ExecutionPolicy",
     "Instrumentation",
     "MachineProfile",
     "SimulatedMachine",
+    "Workspace",
 ]

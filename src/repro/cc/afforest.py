@@ -16,7 +16,7 @@ import numpy as np
 from repro.cc.core import compress, link_once, minlabel_hook_rounds
 from repro.graph.csr import CSRGraph
 from repro.obs import metrics
-from repro.parallel.api import ExecutionPolicy
+from repro.parallel.context import ExecutionContext
 from repro.utils.rng import resolve_rng
 from repro.utils.validation import check_nonnegative
 
@@ -29,7 +29,7 @@ def afforest_on_csr(
     neighbor_rounds: int = 2,
     sample_size: int = 1024,
     seed: int | np.random.Generator | None = 0,
-    handle=None,
+    ctx: ExecutionContext | None = None,
 ) -> int:
     """Run Afforest over the subgraph induced by ``nodes``.
 
@@ -41,6 +41,7 @@ def afforest_on_csr(
     check_nonnegative("neighbor_rounds", neighbor_rounds)
     if nodes.size == 0:
         return 0
+    ctx = ExecutionContext.ensure(ctx)
     rng = resolve_rng(seed)
     deg = indptr[nodes + 1] - indptr[nodes]
     total_rounds = 0
@@ -54,7 +55,7 @@ def afforest_on_csr(
             break
         srcs = nodes[has]
         dsts = neighbors[indptr[srcs] + r]
-        link_once(comp, srcs, dsts, nodes, handle=handle)
+        link_once(comp, srcs, dsts, nodes, ctx=ctx)
         total_rounds += 1
 
     # Phase 2: identify the dominant component from a sample.
@@ -72,8 +73,7 @@ def afforest_on_csr(
         counts_r = indptr[rest + 1] - indptr[rest]
         total = int(counts_r.sum())
         if total:
-            if handle is not None:
-                handle.add_round(total)
+            ctx.add_round(total)
             cum = np.concatenate([np.zeros(1, np.int64), np.cumsum(counts_r)])
             local = np.arange(total, dtype=np.int64) - np.repeat(cum[:-1], counts_r)
             pos = np.repeat(indptr[rest], counts_r) + local
@@ -83,9 +83,9 @@ def afforest_on_csr(
             total_rounds += 1
             if live.any():
                 total_rounds += minlabel_hook_rounds(
-                    comp, srcs[live], dsts[live], handle=handle
+                    comp, srcs[live], dsts[live], ctx=ctx
                 )
-    compress(comp, nodes)
+    compress(comp, nodes, ctx=ctx)
     metrics.inc("repro.cc.afforest_rounds", total_rounds)
     metrics.inc("repro.cc.afforest_finish_nodes", int(rest.size))
     return total_rounds
@@ -94,18 +94,21 @@ def afforest_on_csr(
 def afforest(
     graph: CSRGraph,
     neighbor_rounds: int = 2,
-    policy: ExecutionPolicy | None = None,
+    ctx: ExecutionContext | None = None,
     seed: int | np.random.Generator | None = 0,
+    *,
+    policy=None,
 ) -> np.ndarray:
     """Component label per vertex via Afforest.
 
     The sampling seed only affects which component is skipped in the
-    finish phase, never the resulting partition.
+    finish phase, never the resulting partition. ``policy`` is a
+    deprecated alias for ``ctx``.
     """
-    policy = ExecutionPolicy.default(policy)
+    ctx = ExecutionContext.ensure(ctx if ctx is not None else policy)
     comp = np.arange(graph.num_vertices, dtype=np.int64)
     nodes = np.arange(graph.num_vertices, dtype=np.int64)
-    with policy.trace.region("Afforest", work=0, rounds=0, intensity="memory") as handle:
+    with ctx.region("Afforest", work=0, rounds=0, intensity="memory"):
         afforest_on_csr(
             comp,
             graph.indptr,
@@ -113,6 +116,6 @@ def afforest(
             nodes,
             neighbor_rounds=neighbor_rounds,
             seed=seed,
-            handle=handle,
+            ctx=ctx,
         )
     return comp

@@ -12,10 +12,10 @@ from repro.cc.shiloach_vishkin import shiloach_vishkin
 from repro.cc.union_find import UnionFind
 from repro.errors import InvalidParameterError
 from repro.graph.csr import CSRGraph
-from repro.parallel.api import ExecutionPolicy
+from repro.parallel.context import ExecutionContext
 
 
-def _union_find_cc(graph: CSRGraph, policy: ExecutionPolicy | None = None) -> np.ndarray:
+def _union_find_cc(graph: CSRGraph, ctx: ExecutionContext | None = None) -> np.ndarray:
     uf = UnionFind(graph.num_vertices)
     for a, b in zip(graph.edges.u.tolist(), graph.edges.v.tolist()):
         uf.union(a, b)
@@ -34,14 +34,17 @@ _METHODS = {
 def connected_components(
     graph: CSRGraph,
     method: str = "afforest",
-    policy: ExecutionPolicy | None = None,
+    ctx: ExecutionContext | None = None,
     normalize: bool = True,
+    *,
+    policy=None,
 ) -> np.ndarray:
     """Component labels for every vertex.
 
     ``method`` ∈ {sv, afforest, label_prop, bfs, union_find}. With
     ``normalize=True`` labels are densified to 0..C-1 so outputs of all
-    methods compare equal directly.
+    methods compare equal directly. ``policy`` is a deprecated alias for
+    ``ctx``.
     """
     try:
         fn = _METHODS[method]
@@ -49,5 +52,6 @@ def connected_components(
         raise InvalidParameterError(
             f"unknown CC method {method!r}; available: {sorted(_METHODS)}"
         ) from None
-    comp = fn(graph, policy=policy)
+    resolved = ExecutionContext.ensure(ctx if ctx is not None else policy)
+    comp = fn(graph, ctx=resolved)
     return normalize_labels(comp) if normalize else comp

@@ -10,25 +10,28 @@ from __future__ import annotations
 import numpy as np
 
 from repro.graph.csr import CSRGraph
-from repro.parallel.api import ExecutionPolicy
+from repro.parallel.context import ExecutionContext
 
 
 def bfs_components(
-    graph: CSRGraph, policy: ExecutionPolicy | None = None
+    graph: CSRGraph,
+    ctx: ExecutionContext | None = None,
+    *,
+    policy=None,
 ) -> np.ndarray:
     """Component label per vertex (minimum vertex id in its component)."""
-    policy = ExecutionPolicy.default(policy)
+    ctx = ExecutionContext.ensure(ctx if ctx is not None else policy)
     n = graph.num_vertices
     comp = np.full(n, -1, dtype=np.int64)
     indptr, indices = graph.indptr, graph.indices
-    with policy.trace.region("BFS-CC", work=0, rounds=0, intensity="memory") as handle:
+    with ctx.region("BFS-CC", work=0, rounds=0, intensity="memory"):
         for seed in range(n):
             if comp[seed] != -1:
                 continue
             comp[seed] = seed
             frontier = np.array([seed], dtype=np.int64)
             while frontier.size:
-                handle.add_round(int(frontier.size))
+                ctx.add_round(int(frontier.size))
                 counts = indptr[frontier + 1] - indptr[frontier]
                 total = int(counts.sum())
                 if total == 0:

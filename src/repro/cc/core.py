@@ -5,6 +5,13 @@ The CRCW PRAM writes of Shiloach–Vishkin ("benign races" in the paper's
 same root become a single priority write via ``np.minimum.at``, which is
 one legal serialization of the racy OpenMP execution — the fixpoint (the
 partition into components) is identical.
+
+All entry points accept an optional
+:class:`~repro.parallel.context.ExecutionContext`: round accounting goes
+through ``ctx.add_round`` (targeting whatever region the caller has
+open) and the per-round component gathers reuse the context's
+:class:`~repro.parallel.context.Workspace` instead of allocating fresh
+arrays every hooking round.
 """
 
 from __future__ import annotations
@@ -12,13 +19,18 @@ from __future__ import annotations
 import numpy as np
 
 from repro.errors import InvalidParameterError
+from repro.parallel.context import ExecutionContext
+
+
+def _ensure(ctx) -> ExecutionContext:
+    return ExecutionContext.ensure(ctx)
 
 
 def minlabel_hook_rounds(
     comp: np.ndarray,
     a: np.ndarray,
     b: np.ndarray,
-    handle=None,
+    ctx: ExecutionContext | None = None,
 ) -> int:
     """Run SV hooking + shortcut rounds to convergence over pairs (a, b).
 
@@ -28,21 +40,21 @@ def minlabel_hook_rounds(
     one hooking pass over all pairs (both directions, min-priority
     writes onto roots) followed by full pointer-jumping — the structure
     of Algorithm 2's hooking/shortcut phases. Returns the number of
-    hooking rounds; ``handle.add_round`` is fed the per-round work when
-    an instrumentation handle is given.
+    hooking rounds; per-round work is reported through ``ctx``.
     """
     if a.shape != b.shape:
         raise InvalidParameterError("hook pair arrays must have equal shape")
     rounds = 0
     if a.size == 0:
         return rounds
+    ctx = _ensure(ctx)
+    ws = ctx.workspace
     touched = np.unique(np.concatenate([a, b]))
     while True:
         rounds += 1
-        if handle is not None:
-            handle.add_round(2 * a.size)
-        ca = comp[a]
-        cb = comp[b]
+        ctx.add_round(2 * a.size)
+        ca = ws.gather("cc.ca", comp, a)
+        cb = ws.gather("cc.cb", comp, b)
         hook_b = (ca < cb) & (comp[cb] == cb)
         hook_a = (cb < ca) & (comp[ca] == ca)
         changed = bool(hook_b.any() or hook_a.any())
@@ -50,7 +62,7 @@ def minlabel_hook_rounds(
             np.minimum.at(comp, cb[hook_b], ca[hook_b])
         if hook_a.any():
             np.minimum.at(comp, ca[hook_a], cb[hook_a])
-        compress(comp, touched)
+        compress(comp, touched, ctx=ctx)
         if not changed:
             break
     return rounds
@@ -61,7 +73,7 @@ def link_once(
     a: np.ndarray,
     b: np.ndarray,
     nodes: np.ndarray,
-    handle=None,
+    ctx: ExecutionContext | None = None,
 ) -> None:
     """One opportunistic hooking pass + compress (Afforest's ``link``).
 
@@ -72,25 +84,32 @@ def link_once(
     """
     if a.size == 0:
         return
-    if handle is not None:
-        handle.add_round(2 * a.size)
-    ca = comp[a]
-    cb = comp[b]
+    ctx = _ensure(ctx)
+    ctx.add_round(2 * a.size)
+    ws = ctx.workspace
+    ca = ws.gather("cc.ca", comp, a)
+    cb = ws.gather("cc.cb", comp, b)
     hook_b = (ca < cb) & (comp[cb] == cb)
     hook_a = (cb < ca) & (comp[ca] == ca)
     if hook_b.any():
         np.minimum.at(comp, cb[hook_b], ca[hook_b])
     if hook_a.any():
         np.minimum.at(comp, ca[hook_a], cb[hook_a])
-    compress(comp, nodes)
+    compress(comp, nodes, ctx=ctx)
 
 
-def compress(comp: np.ndarray, nodes: np.ndarray | None = None) -> int:
+def compress(
+    comp: np.ndarray,
+    nodes: np.ndarray | None = None,
+    ctx: ExecutionContext | None = None,
+) -> int:
     """Full pointer jumping until every node points at its root.
 
-    Returns the number of jump rounds (the shortcut depth).
+    Returns the number of jump rounds (the shortcut depth). With a
+    context, the per-round ``comp`` gathers reuse workspace buffers.
     """
     rounds = 0
+    ws = ctx.workspace if isinstance(ctx, ExecutionContext) else None
     if nodes is None:
         while True:
             nxt = comp[comp]
@@ -99,28 +118,34 @@ def compress(comp: np.ndarray, nodes: np.ndarray | None = None) -> int:
             comp[:] = nxt
             rounds += 1
     while True:
-        cur = comp[nodes]
-        nxt = comp[cur]
+        if ws is not None:
+            cur = ws.gather("cc.jump_cur", comp, nodes)
+            nxt = ws.gather("cc.jump_nxt", comp, cur)
+        else:
+            cur = comp[nodes]
+            nxt = comp[cur]
         if np.array_equal(nxt, cur):
             return rounds
         comp[nodes] = nxt
         rounds += 1
 
 
-def pairs_to_csr(num_nodes: int, a: np.ndarray, b: np.ndarray):
+def pairs_to_csr(num_nodes: int, a: np.ndarray, b: np.ndarray, index_dtype=None):
     """Symmetric CSR adjacency of an undirected pair list.
 
     Used to give the derived (edge-induced) graphs the neighbor-list
-    shape Afforest's sampling needs. Returns ``(indptr, neighbors)``.
+    shape Afforest's sampling needs. Returns ``(indptr, neighbors)``;
+    ``index_dtype`` narrows both arrays (it must fit ``2 · |pairs|``).
     """
     if a.shape != b.shape:
         raise InvalidParameterError("pair arrays must have equal shape")
+    dt = np.dtype(index_dtype) if index_dtype is not None else np.dtype(np.int64)
     src = np.concatenate([a, b])
-    dst = np.concatenate([b, a])
+    dst = np.concatenate([b, a]).astype(dt, copy=False)
     order = np.argsort(src, kind="stable")
     src, dst = src[order], dst[order]
     counts = np.bincount(src, minlength=num_nodes)
-    indptr = np.zeros(num_nodes + 1, dtype=np.int64)
+    indptr = np.zeros(num_nodes + 1, dtype=dt)
     np.cumsum(counts, out=indptr[1:])
     return indptr, dst
 

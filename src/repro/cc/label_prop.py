@@ -11,20 +11,23 @@ from __future__ import annotations
 import numpy as np
 
 from repro.graph.csr import CSRGraph
-from repro.parallel.api import ExecutionPolicy
+from repro.parallel.context import ExecutionContext
 
 
 def label_propagation(
-    graph: CSRGraph, policy: ExecutionPolicy | None = None
+    graph: CSRGraph,
+    ctx: ExecutionContext | None = None,
+    *,
+    policy=None,
 ) -> np.ndarray:
     """Component label per vertex (minimum vertex id in its component)."""
-    policy = ExecutionPolicy.default(policy)
+    ctx = ExecutionContext.ensure(ctx if ctx is not None else policy)
     n = graph.num_vertices
     comp = np.arange(n, dtype=np.int64)
     u, v = graph.edges.u, graph.edges.v
-    with policy.trace.region("LabelProp", work=0, rounds=0, intensity="memory") as handle:
+    with ctx.region("LabelProp", work=0, rounds=0, intensity="memory"):
         while True:
-            handle.add_round(2 * u.size)
+            ctx.add_round(2 * u.size)
             new = comp.copy()
             np.minimum.at(new, u, comp[v])
             np.minimum.at(new, v, comp[u])

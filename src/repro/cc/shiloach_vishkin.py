@@ -11,21 +11,25 @@ import numpy as np
 
 from repro.graph.csr import CSRGraph
 from repro.obs import metrics
-from repro.parallel.api import ExecutionPolicy
+from repro.parallel.context import ExecutionContext
 from repro.cc.core import minlabel_hook_rounds
 
 
 def shiloach_vishkin(
-    graph: CSRGraph, policy: ExecutionPolicy | None = None
+    graph: CSRGraph,
+    ctx: ExecutionContext | None = None,
+    *,
+    policy=None,
 ) -> np.ndarray:
     """Component label per vertex (the minimum vertex id of its component).
 
-    Records one ``SV`` region in the policy trace; work = edges scanned
-    per hooking round, rounds = hooking iterations.
+    Records one ``SV`` region in the context trace; work = edges scanned
+    per hooking round, rounds = hooking iterations. ``policy`` is a
+    deprecated alias for ``ctx``.
     """
-    policy = ExecutionPolicy.default(policy)
+    ctx = ExecutionContext.ensure(ctx if ctx is not None else policy)
     comp = np.arange(graph.num_vertices, dtype=np.int64)
-    with policy.trace.region("SV", work=0, rounds=0, intensity="memory") as handle:
-        rounds = minlabel_hook_rounds(comp, graph.edges.u, graph.edges.v, handle=handle)
+    with ctx.region("SV", work=0, rounds=0, intensity="memory"):
+        rounds = minlabel_hook_rounds(comp, graph.edges.u, graph.edges.v, ctx=ctx)
     metrics.inc("repro.cc.sv_rounds", rounds)
     return comp

@@ -51,18 +51,31 @@ def _cmd_generate(args: argparse.Namespace) -> int:
     return 0
 
 
+def _make_context(args: argparse.Namespace):
+    """ExecutionContext from the shared --backend/--workers/--dtype flags."""
+    from repro.parallel.context import ExecutionContext
+
+    return ExecutionContext(
+        backend=getattr(args, "backend", "serial"),
+        num_workers=getattr(args, "workers", 1) or 1,
+        dtype=getattr(args, "dtype", "auto"),
+    )
+
+
 def _cmd_index(args: argparse.Namespace) -> int:
     from repro.equitruss import build_index
     from repro.graph.io import load_graph
     from repro.obs.logging import get_logger, kv
     from repro.obs.metrics import get_registry, reset_metrics
+    from repro.obs.report import format_bytes
 
     log = get_logger("cli")
     reset_metrics()  # the metrics file reflects this run only
-    graph = load_graph(args.graph)
+    ctx = _make_context(args)
+    graph = load_graph(args.graph, ctx=ctx)
     log.info(kv("load_graph", path=args.graph, vertices=graph.num_vertices,
-                edges=graph.num_edges))
-    result = build_index(graph, variant=args.variant, num_workers=args.workers)
+                edges=graph.num_edges, dtype=graph.index_dtype.name))
+    result = build_index(graph, variant=args.variant, ctx=ctx)
     index = result.index
     index.validate()
     index.save(args.out)
@@ -74,6 +87,12 @@ def _cmd_index(args: argparse.Namespace) -> int:
         f"built {args.variant} index in {result.seconds:.3f}s: "
         f"{stats['num_supernodes']} supernodes, {stats['num_superedges']} superedges, "
         f"kmax={stats['kmax']} -> {args.out}"
+    )
+    registry = get_registry()
+    ws_peak = registry.gauge("repro.mem.workspace_high_water").value
+    print(
+        f"dtype={ctx.edge_dtype(graph.num_edges).name} "
+        f"(policy {ctx.dtype.name}), peak workspace {format_bytes(ws_peak)}"
     )
     if args.breakdown:
         for name, secs in result.breakdown.seconds.items():
@@ -172,7 +191,7 @@ def _cmd_verify(args: argparse.Namespace) -> int:
 
     index = EquiTrussIndex.load(args.index)
     try:
-        verify_index_semantics(index.graph, index)
+        verify_index_semantics(index.graph, index, ctx=_make_context(args))
     except IndexIntegrityError as exc:
         print(f"FAILED: {exc}", file=sys.stderr)
         return 1
@@ -206,12 +225,21 @@ def build_parser() -> argparse.ArgumentParser:
     gen.add_argument("--seed", type=int, default=0)
     gen.set_defaults(func=_cmd_generate)
 
+    def add_context_flags(p: argparse.ArgumentParser) -> None:
+        """The shared ExecutionContext flags (--backend/--workers/--dtype)."""
+        p.add_argument("--backend", default="serial", choices=["serial", "thread"],
+                       help="execution backend for the kernels")
+        p.add_argument("--workers", type=int, default=1,
+                       help="worker count for the chosen backend")
+        p.add_argument("--dtype", default="auto", choices=["auto", "int32", "int64"],
+                       help="index dtype policy (auto narrows to int32 when safe)")
+
     idx = sub.add_parser("index", help="build and save an EquiTruss index")
     idx.add_argument("graph", help="graph file (.npz or SNAP text)")
     idx.add_argument("--out", required=True, help="output index .npz")
     idx.add_argument("--variant", default="afforest",
                      choices=["baseline", "coptimal", "afforest"])
-    idx.add_argument("--workers", type=int, default=1)
+    add_context_flags(idx)
     idx.add_argument("--breakdown", action="store_true",
                      help="print the per-kernel timing breakdown")
     idx.add_argument("--trace-out", default=None, metavar="PATH",
@@ -242,6 +270,7 @@ def build_parser() -> argparse.ArgumentParser:
         "verify", help="deep semantic verification of a saved index"
     )
     ver.add_argument("index", help="index .npz (embeds its graph)")
+    add_context_flags(ver)
     ver.set_defaults(func=_cmd_verify)
     return parser
 

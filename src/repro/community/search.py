@@ -22,18 +22,25 @@ import numpy as np
 from repro.community.model import Community, canonical_order
 from repro.equitruss.index import EquiTrussIndex
 from repro.errors import InvalidParameterError
+from repro.parallel.context import ExecutionContext
 
 
 def search_communities(
-    index: EquiTrussIndex, query_vertex: int, k: int
+    index: EquiTrussIndex,
+    query_vertex: int,
+    k: int,
+    ctx: ExecutionContext | None = None,
 ) -> list[Community]:
     """All k-truss communities containing ``query_vertex``.
 
     Returns communities in canonical order; empty list when the vertex
-    touches no τ ≥ k edge. ``k`` must be ≥ 3 (Definition 7).
+    touches no τ ≥ k edge. ``k`` must be ≥ 3 (Definition 7). With a
+    ``ctx`` the traversal is recorded as a ``Query`` region (supernodes
+    visited = work) in the context trace.
     """
     if k < 3:
         raise InvalidParameterError(f"k must be >= 3 for k-truss communities, got {k}")
+    ctx = ExecutionContext.ensure(ctx)
     anchors = index.supernodes_of_vertex(query_vertex, k_min=k)
     if anchors.size == 0:
         return []
@@ -41,21 +48,23 @@ def search_communities(
     sn_k = index.supernode_trussness
     visited = np.zeros(index.num_supernodes, dtype=bool)
     communities: list[Community] = []
-    for anchor in anchors.tolist():
-        if visited[anchor]:
-            continue
-        group: list[int] = []
-        visited[anchor] = True
-        queue: deque[int] = deque([anchor])
-        while queue:
-            sn = queue.popleft()
-            group.append(sn)
-            for other in nbrs[indptr[sn] : indptr[sn + 1]].tolist():
-                if not visited[other] and sn_k[other] >= k:
-                    visited[other] = True
-                    queue.append(other)
-        edge_ids = np.sort(np.concatenate([index.edges_of(sn) for sn in group]))
-        communities.append(Community(k=k, edge_ids=edge_ids, graph=index.graph))
+    with ctx.region("Query", work=0, parallel=False) as handle:
+        for anchor in anchors.tolist():
+            if visited[anchor]:
+                continue
+            group: list[int] = []
+            visited[anchor] = True
+            queue: deque[int] = deque([anchor])
+            while queue:
+                sn = queue.popleft()
+                group.append(sn)
+                for other in nbrs[indptr[sn] : indptr[sn + 1]].tolist():
+                    if not visited[other] and sn_k[other] >= k:
+                        visited[other] = True
+                        queue.append(other)
+            handle.work += len(group)
+            edge_ids = np.sort(np.concatenate([index.edges_of(sn) for sn in group]))
+            communities.append(Community(k=k, edge_ids=edge_ids, graph=index.graph))
     return canonical_order(communities)
 
 

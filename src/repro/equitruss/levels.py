@@ -78,6 +78,23 @@ class LevelStructures:
     def num_superedge_candidates(self) -> int:
         return self.se_lo.size
 
+    @property
+    def nbytes(self) -> int:
+        """Bytes held by all level tables (and the adjacency, if built)."""
+        from repro.parallel.context import array_nbytes
+
+        return array_nbytes(
+            self.hook_a,
+            self.hook_b,
+            self.hook_k,
+            self.se_lo,
+            self.se_hi,
+            self.se_k,
+            self.levels,
+            self.adj_indptr,
+            self.adj_neighbors,
+        )
+
 
 def _bounds(sorted_k: np.ndarray, k: int) -> tuple[int, int]:
     lo = int(np.searchsorted(sorted_k, k, side="left"))
@@ -145,11 +162,15 @@ def build_level_structures(
     triangles: TriangleSet,
     trussness: np.ndarray,
     with_adjacency: bool = False,
+    ctx=None,
 ) -> LevelStructures:
     """Sort and group the raw tables by level (the C-Optimal layout).
 
     ``with_adjacency=True`` additionally materializes the edge-graph CSR
-    for Afforest's neighbor sampling.
+    for Afforest's neighbor sampling. With a ``ctx`` whose dtype policy
+    narrows, the edge-id columns (the dominant tables) are stored in the
+    context's edge dtype; the ``k`` columns stay int64 (trussness values
+    are tiny either way and compare against Python ints).
     """
     hooks, ses, _ = triangle_tables(triangles, trussness)
     h_order = np.argsort(hooks[:, 2], kind="stable")
@@ -159,19 +180,34 @@ def build_level_structures(
     levels = np.unique(
         np.concatenate([hooks[:, 2], ses[:, 2], _populated_levels(trussness)])
     )
+    if ctx is not None:
+        from repro.parallel.context import ExecutionContext
+
+        edge_dt = ExecutionContext.ensure(ctx).edge_dtype(triangles.num_edges)
+    else:
+        edge_dt = np.dtype(np.int64)
     adj_indptr = adj_neighbors = None
     if with_adjacency:
         from repro.cc.core import pairs_to_csr
 
+        # indptr values reach 2·|hooks|; neighbors hold edge ids < m.
+        if ctx is not None:
+            from repro.parallel.context import ExecutionContext
+
+            adj_dt = ExecutionContext.ensure(ctx).dtype.resolve(
+                max(triangles.num_edges, 2 * int(hooks.shape[0]), 1)
+            )
+        else:
+            adj_dt = np.dtype(np.int64)
         adj_indptr, adj_neighbors = pairs_to_csr(
-            triangles.num_edges, hooks[:, 0], hooks[:, 1]
+            triangles.num_edges, hooks[:, 0], hooks[:, 1], index_dtype=adj_dt
         )
     return LevelStructures(
-        hook_a=np.ascontiguousarray(hooks[:, 0]),
-        hook_b=np.ascontiguousarray(hooks[:, 1]),
+        hook_a=np.ascontiguousarray(hooks[:, 0], dtype=edge_dt),
+        hook_b=np.ascontiguousarray(hooks[:, 1], dtype=edge_dt),
         hook_k=np.ascontiguousarray(hooks[:, 2]),
-        se_lo=np.ascontiguousarray(ses[:, 0]),
-        se_hi=np.ascontiguousarray(ses[:, 1]),
+        se_lo=np.ascontiguousarray(ses[:, 0], dtype=edge_dt),
+        se_hi=np.ascontiguousarray(ses[:, 1], dtype=edge_dt),
         se_k=np.ascontiguousarray(ses[:, 2]),
         levels=levels,
         adj_indptr=adj_indptr,

@@ -10,12 +10,19 @@ disjoint chunks, so no synchronization is needed — the paper's
 superedges to a destination partition, each partition is sorted and
 deduplicated independently, and the partitions concatenate into the
 final superedge list.
+
+Pair keys (``lo · span + hi``) are always computed in int64 regardless
+of the component array's dtype: with ``span ≈ m`` the product wraps an
+int32 long before the ids themselves do (and NumPy's NEP 50 promotion
+keeps ``int32_array * python_int`` at int32 — the cast must be
+explicit).
 """
 
 from __future__ import annotations
 
 import numpy as np
 
+from repro.parallel.context import ExecutionContext
 from repro.parallel.partition import block_ranges
 from repro.utils.validation import check_positive
 
@@ -26,7 +33,7 @@ def generate_superedges(
     se_hi: np.ndarray,
     num_workers: int = 1,
     worker_subsets: list[list[np.ndarray]] | None = None,
-    handle=None,
+    ctx: ExecutionContext | None = None,
 ) -> list[list[np.ndarray]]:
     """Resolve candidates to root pairs, appended per worker (Algorithm 3).
 
@@ -38,18 +45,21 @@ def generate_superedges(
     first call so per-level invocations accumulate.
     """
     check_positive("num_workers", num_workers)
+    ctx = ExecutionContext.ensure(ctx)
     if worker_subsets is None:
         worker_subsets = [[] for _ in range(num_workers)]
-    if handle is not None:
-        handle.add_round(max(int(se_lo.size), 1))
+    ctx.add_round(max(int(se_lo.size), 1))
     if se_lo.size == 0:
         return worker_subsets
-    a = comp[se_lo]
-    b = comp[se_hi]
-    lo_id = np.minimum(a, b)
-    hi_id = np.maximum(a, b)
+    ws = ctx.workspace
+    a = ws.gather("se.a", comp, se_lo)
+    b = ws.gather("se.b", comp, se_hi)
+    lo_id = ws.take("se.lo", a.size, comp.dtype)
+    hi_id = ws.take("se.hi", a.size, comp.dtype)
+    np.minimum(a, b, out=lo_id)
+    np.maximum(a, b, out=hi_id)
     span = int(hi_id.max()) + 1
-    keys = lo_id * np.int64(span) + hi_id
+    keys = lo_id.astype(np.int64) * span + hi_id
     for tid, (lo, hi) in enumerate(block_ranges(keys.size, num_workers)):
         if hi > lo:
             local = np.unique(keys[lo:hi])  # the thread-local set
@@ -62,7 +72,7 @@ def generate_superedges(
 def merge_supergraph(
     worker_subsets: list[list[np.ndarray]],
     num_workers: int | None = None,
-    handle=None,
+    ctx: ExecutionContext | None = None,
 ) -> np.ndarray:
     """Hash-partitioned duplicate-free merge (Algorithm 4).
 
@@ -70,6 +80,7 @@ def merge_supergraph(
     canonical (min, max) key.
     """
     num_workers = num_workers or max(len(worker_subsets), 1)
+    ctx = ExecutionContext.ensure(ctx)
     locals_: list[np.ndarray] = []
     for subset in worker_subsets:
         if subset:
@@ -81,8 +92,7 @@ def merge_supergraph(
     hi = np.maximum(all_pairs[:, 0], all_pairs[:, 1]).astype(np.int64)
     span = int(hi.max()) + 1 if hi.size else 1
     keys = lo * np.int64(span) + hi
-    if handle is not None:
-        handle.add_round(int(keys.size))
+    ctx.add_round(int(keys.size))
     # hash-partition by destination worker; each partition dedups locally
     dest = keys % num_workers
     merged_parts: list[np.ndarray] = []

@@ -8,6 +8,13 @@ instrumentation::
 
 and returns the canonical :class:`EquiTrussIndex` plus the region trace
 that the benchmarks feed into the machine model.
+
+Execution is configured by a single
+:class:`~repro.parallel.context.ExecutionContext`: backend + workers,
+the dtype policy that narrows every derived array to int32 when the
+graph fits, and the scratch workspace the per-level loop reuses. After a
+build the ``repro.mem.*`` gauges report the resident bytes of each major
+structure plus the workspace high-water mark.
 """
 
 from __future__ import annotations
@@ -36,7 +43,7 @@ from repro.equitruss.variants import (
 from repro.errors import InvalidParameterError
 from repro.graph.csr import CSRGraph
 from repro.obs import metrics
-from repro.parallel.api import ExecutionPolicy
+from repro.parallel.context import ExecutionContext
 from repro.parallel.instrument import Instrumentation
 from repro.triangles.enumerate import TriangleSet, enumerate_triangles
 from repro.truss.decompose import TrussDecomposition, truss_decomposition
@@ -82,6 +89,8 @@ class BuildResult:
     trace: Instrumentation
     variant: str
     num_workers: int
+    #: the context the build ran under (dtype policy, workspace, backend).
+    ctx: ExecutionContext | None = None
 
     @property
     def breakdown(self) -> KernelBreakdown:
@@ -92,60 +101,83 @@ class BuildResult:
         return self.trace.total_seconds
 
 
+def _publish_mem_gauges(
+    graph: CSRGraph, triangles, levels, comp, ctx: ExecutionContext
+) -> dict[str, int]:
+    mem = {
+        "repro.mem.graph_bytes": graph.nbytes,
+        "repro.mem.triangles_bytes": triangles.nbytes if triangles is not None else 0,
+        "repro.mem.levels_bytes": levels.nbytes if levels is not None else 0,
+        "repro.mem.comp_bytes": int(comp.nbytes),
+        "repro.mem.workspace_high_water": ctx.workspace.high_water,
+    }
+    for name, value in mem.items():
+        metrics.set_gauge(name, value)
+    return mem
+
+
 def build_index(
     graph: CSRGraph,
     variant: str = "afforest",
     decomp: TrussDecomposition | None = None,
     triangles: TriangleSet | None = None,
-    policy: ExecutionPolicy | None = None,
-    num_workers: int = 1,
+    ctx: ExecutionContext | None = None,
+    num_workers: int | None = None,
     neighbor_rounds: int = 2,
     seed: int = 0,
+    *,
+    policy=None,
 ) -> BuildResult:
     """Construct the EquiTruss index with the chosen parallel variant.
 
     ``decomp``/``triangles`` may be passed to skip the prerequisite
     kernels (the paper's index-construction timings assume trussness is
-    precomputed). All variants return identical canonical indexes.
+    precomputed). All variants — and all dtype policies — return
+    identical canonical indexes. ``num_workers`` defaults to the
+    context's worker count; ``policy`` is a deprecated alias for ``ctx``.
     """
     if variant not in VARIANTS:
         raise InvalidParameterError(
             f"unknown variant {variant!r}; available: {sorted(VARIANTS)}"
         )
     spec = VARIANTS[variant]
-    policy = ExecutionPolicy.default(policy)
-    trace = policy.trace
+    ctx = ExecutionContext.ensure(ctx if ctx is not None else policy)
+    if num_workers is None:
+        num_workers = ctx.num_workers
+    trace = ctx.trace
+    edge_dt = ctx.edge_dtype(graph.num_edges)
 
-    build_span = trace.tracer.begin(
+    build_span = ctx.tracer.begin(
         "BuildIndex",
         variant=variant,
         num_workers=num_workers,
         vertices=graph.num_vertices,
         edges=graph.num_edges,
+        dtype=edge_dt.name,
     )
+    levels = None
     try:
         # ----------------------------------------------------------- Support
         if triangles is None:
-            with trace.region(SUPPORT, work=graph.num_edges, intensity="mixed") as h:
-                triangles = enumerate_triangles(graph)
+            with ctx.region(SUPPORT, work=graph.num_edges, intensity="mixed") as h:
+                triangles = enumerate_triangles(graph, ctx=ctx)
                 h.work = max(triangles.count, 1)
 
         # ------------------------------------------------------- TrussDecomp
         if decomp is None:
-            decomp = truss_decomposition(graph, triangles=triangles, policy=policy)
+            decomp = truss_decomposition(graph, triangles=triangles, ctx=ctx)
         tau = decomp.trussness
 
         # -------------------------------------------------------------- Init
-        with trace.region(INIT, work=graph.num_edges, intensity="memory") as h:
-            comp = np.arange(graph.num_edges, dtype=np.int64)
+        with ctx.region(INIT, work=graph.num_edges, intensity="memory") as h:
+            comp = np.arange(graph.num_edges, dtype=edge_dt)
             if variant == "baseline":
                 # Baseline groups Φ_k sets only; triangle tables are
                 # recomputed from the CSR when each level is processed.
                 levels_arr = decomp.k_classes()
-                levels = None
             else:
                 levels = build_level_structures(
-                    triangles, tau, with_adjacency=(variant == "afforest")
+                    triangles, tau, with_adjacency=(variant == "afforest"), ctx=ctx
                 )
                 levels_arr = levels.levels
                 h.work = graph.num_edges + levels.num_hook_pairs
@@ -157,15 +189,15 @@ def build_index(
         for k in levels_arr.tolist():
             level_edges = int((tau == k).sum())
             metrics.observe("repro.equitruss.level_edges", level_edges)
-            with trace.tracer.span("Level", k=int(k), edges=level_edges):
+            with ctx.tracer.span("Level", k=int(k), edges=level_edges):
                 ses_level: tuple[np.ndarray, np.ndarray] | None = None
-                with trace.region(
+                with ctx.region(
                     SP_NODE, work=0, rounds=0, intensity=spec.spnode_intensity
-                ) as h:
+                ):
                     if variant == "baseline":
-                        ses_level = spnode_baseline(comp, graph, tau, k, handle=h)
+                        ses_level = spnode_baseline(comp, graph, tau, k, ctx=ctx)
                     elif variant == "coptimal":
-                        spnode_coptimal(comp, levels, k, handle=h)
+                        spnode_coptimal(comp, levels, k, ctx=ctx)
                     else:
                         spnode_afforest(
                             comp,
@@ -174,32 +206,38 @@ def build_index(
                             phi_nodes=decomp.phi(k),
                             neighbor_rounds=neighbor_rounds,
                             seed=seed,
-                            handle=h,
+                            ctx=ctx,
                         )
-                with trace.region(SP_EDGE, work=0, rounds=0, intensity="mixed") as h:
+                with ctx.region(SP_EDGE, work=0, rounds=0, intensity="mixed"):
                     if ses_level is not None:
                         se_lo, se_hi = ses_level
                     else:
                         se_lo, se_hi = levels.superedge_candidates(k)
                     worker_subsets = generate_superedges(
-                        comp, se_lo, se_hi, num_workers, worker_subsets, handle=h
+                        comp, se_lo, se_hi, num_workers, worker_subsets, ctx=ctx
                     )
 
         # ----------------------------------------------------------- SmGraph
-        with trace.region(SM_GRAPH, work=0, rounds=0, intensity="memory") as h:
+        with ctx.region(SM_GRAPH, work=0, rounds=0, intensity="memory"):
             raw_superedges = merge_supergraph(
-                worker_subsets or [], num_workers, handle=h
+                worker_subsets or [], num_workers, ctx=ctx
             )
 
         # ------------------------------------------------------- SpNodeRemap
-        with trace.region(SP_NODE_REMAP, work=graph.num_edges, intensity="memory"):
+        with ctx.region(SP_NODE_REMAP, work=graph.num_edges, intensity="memory"):
             index = EquiTrussIndex.from_parents(graph, tau, comp, raw_superedges)
+
+        mem = _publish_mem_gauges(graph, triangles, levels, comp, ctx)
+        build_span.set(
+            ws_peak=mem["repro.mem.workspace_high_water"],
+            mem_bytes=sum(mem.values()),
+        )
     finally:
-        trace.tracer.end(build_span)
+        ctx.tracer.end(build_span)
 
     metrics.inc("repro.pipeline.builds")
     metrics.set_gauge("repro.equitruss.supernodes", index.num_supernodes)
     metrics.set_gauge("repro.equitruss.superedges", index.num_superedges)
     return BuildResult(
-        index=index, trace=trace, variant=variant, num_workers=num_workers
+        index=index, trace=trace, variant=variant, num_workers=num_workers, ctx=ctx
     )

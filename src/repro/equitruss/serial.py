@@ -24,35 +24,37 @@ import numpy as np
 from repro.equitruss.index import EquiTrussIndex
 from repro.errors import InvalidParameterError
 from repro.graph.csr import CSRGraph
-from repro.parallel.api import ExecutionPolicy
+from repro.parallel.context import ExecutionContext
 from repro.truss.decompose import TrussDecomposition, truss_decomposition
 
 
 def equitruss_serial(
     graph: CSRGraph,
     decomp: TrussDecomposition | None = None,
-    policy: ExecutionPolicy | None = None,
+    ctx: ExecutionContext | None = None,
     lookup: str = "array",
+    *,
+    policy=None,
 ) -> EquiTrussIndex:
     """Build the EquiTruss index with the serial Algorithm 1.
 
     Records ``Support``/``TrussDecomp`` regions when the decomposition is
     computed here, and a single serial ``EquiTruss`` region for the index
-    construction itself (the paper's Figure 2 breakdown).
+    construction itself (the paper's Figure 2 breakdown). ``policy`` is a
+    deprecated alias for ``ctx``.
     """
     if lookup not in ("array", "dict"):
         raise InvalidParameterError(f"lookup must be 'array' or 'dict', got {lookup!r}")
-    policy = ExecutionPolicy.default(policy)
+    ctx = ExecutionContext.ensure(ctx if ctx is not None else policy)
     if decomp is None:
         from repro.triangles.enumerate import enumerate_triangles
-        from repro.triangles.support import compute_support
 
-        with policy.trace.region("Support", work=graph.num_edges, intensity="mixed"):
-            triangles = enumerate_triangles(graph)
-        decomp = truss_decomposition(graph, triangles=triangles, policy=policy)
+        with ctx.region("Support", work=graph.num_edges, intensity="mixed"):
+            triangles = enumerate_triangles(graph, ctx=ctx)
+        decomp = truss_decomposition(graph, triangles=triangles, ctx=ctx)
     tau = decomp.trussness
 
-    with policy.trace.region("EquiTruss", work=graph.num_edges, parallel=False):
+    with ctx.region("EquiTruss", work=graph.num_edges, parallel=False):
         parents, raw_superedges = _algorithm1(graph, tau, lookup)
     return EquiTrussIndex.from_parents(graph, tau, parents, raw_superedges)
 

@@ -19,6 +19,10 @@ paper describes in §3.3:
   neighbors of every node (work ∝ nodes, not pairs), detects the
   dominant component, and finishes only the nodes outside it — the
   subgraph-sampling skip of [43].
+
+Every kernel takes an :class:`~repro.parallel.context.ExecutionContext`
+(``ctx``): rounds are reported via ``ctx.add_round`` and the per-round
+component gathers reuse the context workspace across levels.
 """
 
 from __future__ import annotations
@@ -30,6 +34,7 @@ from repro.cc.core import compress
 from repro.equitruss.levels import LevelStructures
 from repro.graph.csr import CSRGraph
 from repro.obs import metrics
+from repro.parallel.context import ExecutionContext
 
 
 # ----------------------------------------------------------------------
@@ -41,7 +46,7 @@ def recompute_level_tables(
     trussness: np.ndarray,
     k: int,
     batch_edges: int = 1 << 16,
-    handle=None,
+    ctx: ExecutionContext | None = None,
 ) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
     """Algorithm 2/3 per-level triangle recomputation.
 
@@ -58,6 +63,7 @@ def recompute_level_tables(
     (a triangle seen from both its k-edges) are kept — SV is insensitive
     and the paper's per-edge loop produces them too.
     """
+    ctx = ExecutionContext.ensure(ctx)
     phi = np.flatnonzero(trussness == k)
     hook_parts_a: list[np.ndarray] = []
     hook_parts_b: list[np.ndarray] = []
@@ -75,8 +81,7 @@ def recompute_level_tables(
         y = np.where(swap, u, v)
         counts = deg[x]
         total = int(counts.sum())
-        if handle is not None:
-            handle.add_round(max(total, 1))
+        ctx.add_round(max(total, 1))
         if total == 0:
             continue
         cum = np.concatenate([np.zeros(1, np.int64), np.cumsum(counts)])
@@ -114,19 +119,24 @@ def recompute_level_tables(
 
 
 def sv_rounds_noskip(
-    comp: np.ndarray, a: np.ndarray, b: np.ndarray, handle=None
+    comp: np.ndarray,
+    a: np.ndarray,
+    b: np.ndarray,
+    ctx: ExecutionContext | None = None,
 ) -> int:
     """SV hooking/shortcut rounds that rescan the *complete* pair list
     every round (no settled-pair skip — the Baseline behavior)."""
     if a.size == 0:
         return 0
+    ctx = ExecutionContext.ensure(ctx)
+    ws = ctx.workspace
     touched = np.unique(np.concatenate([a, b]))
     rounds = 0
     while True:
         rounds += 1
-        if handle is not None:
-            handle.add_round(2 * a.size)
-        ca, cb = comp[a], comp[b]
+        ctx.add_round(2 * a.size)
+        ca = ws.gather("sp.ca", comp, a)
+        cb = ws.gather("sp.cb", comp, b)
         hook_b = (ca < cb) & (comp[cb] == cb)
         hook_a = (cb < ca) & (comp[ca] == ca)
         changed = bool(hook_b.any() or hook_a.any())
@@ -134,7 +144,7 @@ def sv_rounds_noskip(
             np.minimum.at(comp, cb[hook_b], ca[hook_b])
         if hook_a.any():
             np.minimum.at(comp, ca[hook_a], cb[hook_a])
-        compress(comp, touched)
+        compress(comp, touched, ctx=ctx)
         if not changed:
             return rounds
 
@@ -144,16 +154,17 @@ def spnode_baseline(
     graph: CSRGraph,
     trussness: np.ndarray,
     k: int,
-    handle=None,
+    ctx: ExecutionContext | None = None,
 ) -> tuple[np.ndarray, np.ndarray]:
     """Baseline SpNode for level ``k``: recompute triangles, then
     unskipped SV. Returns the level's superedge candidates (recomputed
     here, consumed by the SpEdge kernel)."""
+    ctx = ExecutionContext.ensure(ctx)
     hook_a, hook_b, se_lo, se_hi = recompute_level_tables(
-        graph, trussness, k, handle=handle
+        graph, trussness, k, ctx=ctx
     )
     metrics.inc("repro.equitruss.hook_pairs", int(hook_a.size))
-    rounds = sv_rounds_noskip(comp, hook_a, hook_b, handle=handle)
+    rounds = sv_rounds_noskip(comp, hook_a, hook_b, ctx=ctx)
     metrics.inc("repro.cc.sv_rounds", rounds)
     return se_lo, se_hi
 
@@ -166,7 +177,7 @@ def spnode_coptimal(
     comp: np.ndarray,
     levels: LevelStructures,
     k: int,
-    handle=None,
+    ctx: ExecutionContext | None = None,
 ) -> int:
     """C-Optimal SV over level ``k``: prebuilt pairs + settled-pair skip.
 
@@ -179,17 +190,19 @@ def spnode_coptimal(
     a, b = levels.hook_pairs(k)
     if a.size == 0:
         return 0
+    ctx = ExecutionContext.ensure(ctx)
+    ws = ctx.workspace
     touched = np.unique(np.concatenate([a, b]))
     rounds = 0
     while True:
         rounds += 1
         metrics.inc("repro.cc.sv_rounds")
-        if handle is not None:
-            handle.add_round(2 * a.size)
-        ca, cb = comp[a], comp[b]
+        ctx.add_round(2 * a.size)
+        ca = ws.gather("sp.ca", comp, a)
+        cb = ws.gather("sp.cb", comp, b)
         unsettled = ca != cb  # the Π(e) == Π(e1) early-out of §3.3
         if not unsettled.any():
-            compress(comp, touched)
+            compress(comp, touched, ctx=ctx)
             return rounds
         ua, ub = ca[unsettled], cb[unsettled]
         hook_b = (ua < ub) & (comp[ub] == ub)
@@ -199,7 +212,7 @@ def spnode_coptimal(
             np.minimum.at(comp, ub[hook_b], ua[hook_b])
         if hook_a.any():
             np.minimum.at(comp, ua[hook_a], ub[hook_a])
-        compress(comp, touched)
+        compress(comp, touched, ctx=ctx)
         if not changed:
             return rounds
 
@@ -215,7 +228,7 @@ def spnode_afforest(
     phi_nodes: np.ndarray,
     neighbor_rounds: int = 2,
     seed: int = 0,
-    handle=None,
+    ctx: ExecutionContext | None = None,
 ) -> int:
     """Afforest over level ``k`` using the Init-built edge-graph CSR.
 
@@ -234,5 +247,5 @@ def spnode_afforest(
         phi_nodes,
         neighbor_rounds=neighbor_rounds,
         seed=seed,
-        handle=handle,
+        ctx=ctx,
     )

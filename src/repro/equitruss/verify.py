@@ -29,11 +29,18 @@ from repro.triangles.enumerate import enumerate_triangles
 from repro.truss.decompose import truss_decomposition
 
 
-def verify_index_semantics(graph: CSRGraph, index: EquiTrussIndex) -> None:
-    """Raise :class:`IndexIntegrityError` on any definition violation."""
+def verify_index_semantics(
+    graph: CSRGraph, index: EquiTrussIndex, ctx=None
+) -> None:
+    """Raise :class:`IndexIntegrityError` on any definition violation.
+
+    ``ctx`` (an optional :class:`~repro.parallel.context.ExecutionContext`)
+    only configures execution of the re-derivation — the checks
+    themselves are dtype-independent.
+    """
     index.validate()
-    tri = enumerate_triangles(graph)
-    decomp = truss_decomposition(graph, triangles=tri)
+    tri = enumerate_triangles(graph, ctx=ctx)
+    decomp = truss_decomposition(graph, triangles=tri, ctx=ctx)
     if not np.array_equal(decomp.trussness, index.trussness):
         raise IndexIntegrityError("index trussness disagrees with decomposition")
 

@@ -49,8 +49,17 @@ def build_graph(
     src: np.ndarray | Iterable[int],
     dst: np.ndarray | Iterable[int],
     num_vertices: int | None = None,
+    ctx=None,
+    index_dtype=None,
 ):
-    """Build a :class:`repro.graph.csr.CSRGraph` from raw endpoint arrays."""
+    """Build a :class:`repro.graph.csr.CSRGraph` from raw endpoint arrays.
+
+    ``ctx`` (an :class:`~repro.parallel.context.ExecutionContext`) or an
+    explicit ``index_dtype`` selects the CSR index dtype; the default
+    stays int64.
+    """
     from repro.graph.csr import CSRGraph
 
-    return CSRGraph.from_edgelist(build_edgelist(src, dst, num_vertices))
+    return CSRGraph.from_edgelist(
+        build_edgelist(src, dst, num_vertices), ctx=ctx, index_dtype=index_dtype
+    )

@@ -6,6 +6,14 @@ carries the *dense edge id* of the canonical undirected edge it belongs
 to, which is the paper's "C-Optimal" storage optimization: looking up
 τ(u, w) for a neighbor w of u becomes a contiguous-buffer gather instead
 of a hash-map probe (§3.3 of the paper).
+
+The adjacency arrays are dtype-parameterized (int32 or int64, picked by
+the :class:`~repro.parallel.context.DtypePolicy` of an execution
+context): the kernels downstream are bandwidth-bound, so int32 halves
+their memory traffic whenever ``|V|`` and ``2|E|`` fit. Keyed lookups
+(``u·N + v``) resolve their dtype *separately* — the product wraps long
+before the ids do, so :attr:`key_dtype` falls back to int64 once
+``N² > 2³¹`` even when the index arrays are int32.
 """
 
 from __future__ import annotations
@@ -22,12 +30,12 @@ class CSRGraph:
     Attributes
     ----------
     indptr:
-        ``int64[n + 1]`` row offsets.
+        ``index_dtype[n + 1]`` row offsets.
     indices:
-        ``int64[2m]`` neighbor ids, sorted ascending within each row.
+        ``index_dtype[2m]`` neighbor ids, sorted ascending within each row.
     edge_ids:
-        ``int64[2m]`` canonical edge id for each adjacency slot, aligned
-        with ``indices``.
+        ``index_dtype[2m]`` canonical edge id for each adjacency slot,
+        aligned with ``indices``.
     edges:
         The canonical :class:`EdgeList` this CSR was built from.
     """
@@ -40,10 +48,19 @@ class CSRGraph:
         indices: np.ndarray,
         edge_ids: np.ndarray,
         edges: EdgeList,
+        index_dtype=None,
     ) -> None:
-        self.indptr = np.ascontiguousarray(indptr, dtype=np.int64)
-        self.indices = np.ascontiguousarray(indices, dtype=np.int64)
-        self.edge_ids = np.ascontiguousarray(edge_ids, dtype=np.int64)
+        dt = np.dtype(index_dtype) if index_dtype is not None else np.dtype(np.int64)
+        if dt not in (np.dtype(np.int32), np.dtype(np.int64)):
+            raise GraphConstructionError(f"index dtype must be int32/int64, got {dt}")
+        if dt == np.dtype(np.int32) and max(edges.num_vertices + 1, 2 * edges.num_edges) > np.iinfo(np.int32).max:
+            raise GraphConstructionError(
+                f"graph with {edges.num_vertices} vertices / {edges.num_edges} "
+                "edges does not fit int32 indices"
+            )
+        self.indptr = np.ascontiguousarray(indptr, dtype=dt)
+        self.indices = np.ascontiguousarray(indices, dtype=dt)
+        self.edge_ids = np.ascontiguousarray(edge_ids, dtype=dt)
         self.edges = edges
         if self.indptr.size != edges.num_vertices + 1:
             raise GraphConstructionError("indptr length must be num_vertices + 1")
@@ -59,8 +76,19 @@ class CSRGraph:
     # Construction
     # ------------------------------------------------------------------
     @classmethod
-    def from_edgelist(cls, edges: EdgeList) -> "CSRGraph":
-        """Build symmetric CSR adjacency from a canonical edge list."""
+    def from_edgelist(cls, edges: EdgeList, ctx=None, index_dtype=None) -> "CSRGraph":
+        """Build symmetric CSR adjacency from a canonical edge list.
+
+        The index dtype comes from ``index_dtype`` when given, else from
+        the context's dtype policy (``ExecutionContext.ensure(ctx)``
+        applied to ``|V|`` and ``2|E|``), else int64.
+        """
+        if index_dtype is None and ctx is not None:
+            from repro.parallel.context import ExecutionContext
+
+            index_dtype = ExecutionContext.ensure(ctx).index_dtype(
+                edges.num_vertices, edges.num_edges
+            )
         n, m = edges.num_vertices, edges.num_edges
         src = np.concatenate([edges.u, edges.v])
         dst = np.concatenate([edges.v, edges.u])
@@ -70,7 +98,7 @@ class CSRGraph:
         counts = np.bincount(src, minlength=n)
         indptr = np.zeros(n + 1, dtype=np.int64)
         np.cumsum(counts, out=indptr[1:])
-        return cls(indptr, dst, eid, edges)
+        return cls(indptr, dst, eid, edges, index_dtype=index_dtype)
 
     # ------------------------------------------------------------------
     # Basic accessors
@@ -82,6 +110,32 @@ class CSRGraph:
     @property
     def num_edges(self) -> int:
         return self.edges.num_edges
+
+    @property
+    def index_dtype(self) -> np.dtype:
+        """Dtype of the adjacency arrays (int32 or int64)."""
+        return self.indices.dtype
+
+    @property
+    def key_dtype(self) -> np.dtype:
+        """Narrowest dtype that holds the ``u·N + v`` key without overflow.
+
+        This deliberately ignores :attr:`index_dtype`: an int32 graph
+        over more than ⌊√2³¹⌋ ≈ 46341 vertices still needs int64 keys.
+        """
+        n = max(self.num_vertices, 1)
+        if n * n - 1 > np.iinfo(np.int32).max:
+            return np.dtype(np.int64)
+        return self.index_dtype
+
+    @property
+    def nbytes(self) -> int:
+        """Bytes held by the CSR arrays plus the canonical edge list."""
+        total = self.indptr.nbytes + self.indices.nbytes + self.edge_ids.nbytes
+        total += self.edges.u.nbytes + self.edges.v.nbytes
+        if self._slot_keys is not None:
+            total += self._slot_keys.nbytes
+        return int(total)
 
     def degrees(self) -> np.ndarray:
         """Undirected degree per vertex."""
@@ -99,25 +153,41 @@ class CSRGraph:
         return self.edge_ids[self.indptr[u] : self.indptr[u + 1]]
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
-        return f"CSRGraph(n={self.num_vertices}, m={self.num_edges})"
+        return (
+            f"CSRGraph(n={self.num_vertices}, m={self.num_edges}, "
+            f"dtype={self.index_dtype.name})"
+        )
 
     # ------------------------------------------------------------------
     # Batched membership (keyed searchsorted)
     # ------------------------------------------------------------------
+    def edge_key_of(self, us: np.ndarray, ws: np.ndarray) -> np.ndarray:
+        """Overflow-safe ``u·N + v`` scalar keys for (u, w) pairs.
+
+        Computed in :attr:`key_dtype`, never the raw index dtype — the
+        product wraps in int32 once ``N² > 2³¹`` even though every id
+        fits, so narrow inputs are widened *before* multiplying.
+        """
+        kd = self.key_dtype
+        us = np.asarray(us).astype(kd, copy=False)
+        ws = np.asarray(ws).astype(kd, copy=False)
+        return us * kd.type(max(self.num_vertices, 1)) + ws
+
     @property
     def slot_keys(self) -> np.ndarray:
         """Globally sorted ``row * n + col`` key per adjacency slot.
 
         Because rows appear in order and each row's columns are sorted,
         this flattened key array is strictly increasing, enabling batched
-        adjacency membership tests with one ``searchsorted``.
+        adjacency membership tests with one ``searchsorted``. Stored in
+        :attr:`key_dtype` (int64 whenever int32 keys would wrap).
         """
         if self._slot_keys is None:
-            n = max(self.num_vertices, 1)
             rows = np.repeat(
-                np.arange(self.num_vertices, dtype=np.int64), np.diff(self.indptr)
+                np.arange(self.num_vertices, dtype=self.key_dtype),
+                np.diff(self.indptr),
             )
-            keys = rows * np.int64(n) + self.indices
+            keys = self.edge_key_of(rows, self.indices)
             keys.setflags(write=False)
             self._slot_keys = keys
         return self._slot_keys
@@ -129,10 +199,8 @@ class CSRGraph:
         this is the fast directed (u → w) lookup used by the triangle
         kernels.
         """
-        us = np.asarray(us, dtype=np.int64)
-        ws = np.asarray(ws, dtype=np.int64)
         keys = self.slot_keys
-        q = us * np.int64(max(self.num_vertices, 1)) + ws
+        q = self.edge_key_of(us, ws)
         pos = np.searchsorted(keys, q)
         pos_c = np.minimum(pos, max(keys.size - 1, 0))
         if keys.size == 0:
@@ -147,6 +215,15 @@ class CSRGraph:
     # ------------------------------------------------------------------
     # Conversions
     # ------------------------------------------------------------------
+    def astype(self, index_dtype) -> "CSRGraph":
+        """Copy of this graph with the adjacency arrays in another dtype."""
+        if np.dtype(index_dtype) == self.index_dtype:
+            return self
+        return CSRGraph(
+            self.indptr, self.indices, self.edge_ids, self.edges,
+            index_dtype=index_dtype,
+        )
+
     def to_scipy(self):
         """Symmetric adjacency as ``scipy.sparse.csr_array`` of int8 ones."""
         import scipy.sparse as sp

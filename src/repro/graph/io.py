@@ -69,9 +69,13 @@ def load_npz(path: str | Path) -> EdgeList:
             raise GraphFormatError(f"{path}: missing array {exc}") from exc
 
 
-def load_graph(path: str | Path) -> CSRGraph:
-    """Load a graph from ``.npz`` or text based on the file suffix."""
+def load_graph(path: str | Path, ctx=None) -> CSRGraph:
+    """Load a graph from ``.npz`` or text based on the file suffix.
+
+    ``ctx`` (an :class:`~repro.parallel.context.ExecutionContext`)
+    selects the CSR index dtype through its dtype policy.
+    """
     p = Path(path)
     if p.suffix == ".npz":
-        return CSRGraph.from_edgelist(load_npz(p))
-    return CSRGraph.from_edgelist(read_snap_text(p))
+        return CSRGraph.from_edgelist(load_npz(p), ctx=ctx)
+    return CSRGraph.from_edgelist(read_snap_text(p), ctx=ctx)

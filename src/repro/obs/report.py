@@ -36,17 +36,60 @@ def aggregate_spans(trace, include=None) -> dict[str, float]:
     return out
 
 
+def format_bytes(n: float) -> str:
+    """Human-readable byte count (binary units)."""
+    n = float(n)
+    for unit in ("B", "KiB", "MiB", "GiB"):
+        if abs(n) < 1024.0 or unit == "GiB":
+            return f"{n:.0f}{unit}" if unit == "B" else f"{n:.1f}{unit}"
+        n /= 1024.0
+    return f"{n:.1f}GiB"  # pragma: no cover - unreachable
+
+
+def peak_memory_by_name(trace, include=None) -> dict[str, float]:
+    """Peak ``ws_peak`` span attribute per name (workspace high-water).
+
+    Regions record the execution context's workspace high-water mark at
+    close; aggregating the maximum per kernel name gives the memory
+    column of ``equitruss info --trace``. Names without the attribute
+    are omitted.
+    """
+    keep = set(include) if include is not None else None
+    out: dict[str, float] = {}
+    for rec in _as_records(trace):
+        if keep is not None and rec["name"] not in keep:
+            continue
+        attrs = rec.get("attrs") or {}
+        if "ws_peak" in attrs:
+            out[rec["name"]] = max(out.get(rec["name"], 0.0), float(attrs["ws_peak"]))
+    return out
+
+
 def breakdown_table(trace, include=None, width: int = 40, title=None) -> str:
-    """Per-kernel seconds as a bar chart plus percentage column."""
+    """Per-kernel seconds as a bar chart plus percentage column.
+
+    When spans carry ``ws_peak`` attributes (runs under an
+    ``ExecutionContext``), each row also shows the workspace high-water
+    bytes observed by the end of that kernel.
+    """
     from repro.bench.ascii import bar_chart
 
     agg = aggregate_spans(trace, include=include)
     if not agg:
         return "(no spans)"
+    mem = peak_memory_by_name(trace, include=include)
     total = sum(agg.values()) or 1.0
-    labels = [f"{name} {100.0 * secs / total:5.1f}%" for name, secs in agg.items()]
+    labels = []
+    for name, secs in agg.items():
+        label = f"{name} {100.0 * secs / total:5.1f}%"
+        if name in mem:
+            label += f" ws={format_bytes(mem[name])}"
+        labels.append(label)
     chart = bar_chart(labels, list(agg.values()), width=width, title=title, unit="s")
-    return chart + f"\ntotal {total:.4f}s over {len(agg)} span names"
+    summary = f"\ntotal {total:.4f}s over {len(agg)} span names"
+    if mem:
+        summary += f", peak workspace {format_bytes(max(mem.values()))}"
+    return chart + summary
 
 
 def flamegraph(trace, width: int = 40) -> str:

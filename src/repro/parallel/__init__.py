@@ -22,6 +22,7 @@ directly, so this package provides three coordinated pieces:
 
 from repro.parallel.api import ExecutionPolicy
 from repro.parallel.backends import SerialBackend, ThreadBackend, get_backend, parallel_for
+from repro.parallel.context import DtypePolicy, ExecutionContext, Workspace
 from repro.parallel.instrument import Instrumentation, Region
 from repro.parallel.partition import block_ranges, cyclic_indices, guided_ranges
 from repro.parallel.simulate import MachineProfile, ScalingCurve, SimulatedMachine
@@ -29,7 +30,10 @@ from repro.parallel.atomics import AtomicArray
 
 __all__ = [
     "AtomicArray",
+    "DtypePolicy",
+    "ExecutionContext",
     "ExecutionPolicy",
+    "Workspace",
     "Instrumentation",
     "MachineProfile",
     "Region",

@@ -3,6 +3,14 @@
 An :class:`ExecutionPolicy` bundles the backend choice, the worker
 count, and the instrumentation sink. Algorithms accept an optional
 policy; ``None`` means serial execution with a throwaway trace.
+
+.. deprecated::
+    :class:`~repro.parallel.context.ExecutionContext` supersedes this
+    class — it carries the same backend/workers/trace plus the dtype
+    policy and the scratch workspace. Every kernel ``ctx`` parameter
+    still accepts an ``ExecutionPolicy`` (it is adapted via
+    :meth:`ExecutionContext.ensure`), so existing call sites keep
+    working; new code should construct contexts directly.
 """
 
 from __future__ import annotations
@@ -35,3 +43,10 @@ class ExecutionPolicy:
     def default(cls, policy: "ExecutionPolicy | None") -> "ExecutionPolicy":
         """Normalize an optional policy argument."""
         return policy if policy is not None else cls()
+
+    def as_context(self):
+        """Adapt to the unified :class:`ExecutionContext` (same backend,
+        workers, and trace; default dtype policy and a fresh workspace)."""
+        from repro.parallel.context import ExecutionContext
+
+        return ExecutionContext.ensure(self)

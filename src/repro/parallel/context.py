@@ -1,0 +1,260 @@
+"""Unified execution context: backend, dtypes, workspaces, observability.
+
+Before this module, execution configuration was smeared across three
+ad-hoc mechanisms — :class:`~repro.parallel.api.ExecutionPolicy`
+(backend + workers + trace), raw ``handle=`` parameters on the kernel
+modules, and the ambient tracer. :class:`ExecutionContext` bundles all
+of them plus two new knobs the bandwidth-bound kernels need:
+
+* a :class:`DtypePolicy` — pick the narrowest index dtype that fits
+  ``|V|``, ``2|E|`` and (for keyed lookups) the product ``u·N + v``
+  without overflow. PKT (Kabir & Madduri) and the Eager K-truss study
+  (Blanco & Low) both attribute their shared-memory wins to compact
+  contiguous arrays; int32 halves the traffic of every comp/hook/
+  triangle array on laptop-scale datasets.
+* a :class:`Workspace` — a keyed scratch-buffer arena that the
+  per-level SpNode/SpEdge loop reuses instead of reallocating per
+  level, with a byte high-water mark published as
+  ``repro.mem.workspace_high_water``.
+
+Every kernel entry point accepts ``ctx``; :meth:`ExecutionContext.ensure`
+normalizes ``None``, a legacy ``ExecutionPolicy``, or a bare region
+handle (anything with ``add_round``), so existing call sites keep
+working unchanged.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from dataclasses import dataclass, field, replace
+from typing import Iterator
+
+import numpy as np
+
+from repro.errors import InvalidParameterError
+from repro.parallel.backends import SerialBackend, ThreadBackend, get_backend
+from repro.parallel.instrument import Instrumentation, _RegionHandle
+from repro.utils.validation import check_positive
+
+#: Names accepted by :class:`DtypePolicy`.
+DTYPE_POLICIES = ("auto", "int32", "int64")
+
+_I32_MAX = np.iinfo(np.int32).max
+_I64_MAX = np.iinfo(np.int64).max
+
+
+def fits_int32(max_value: int) -> bool:
+    """Whether ``max_value`` is representable as an int32."""
+    return 0 <= max_value <= _I32_MAX
+
+
+def array_nbytes(*arrays) -> int:
+    """Total bytes of the given arrays, skipping ``None`` entries."""
+    return sum(int(a.nbytes) for a in arrays if a is not None)
+
+
+@dataclass(frozen=True)
+class DtypePolicy:
+    """Adaptive index-dtype selection (``auto`` | ``int32`` | ``int64``).
+
+    ``auto`` picks int32 whenever every value an array must hold fits;
+    callers state the largest value they will store and get back the
+    narrowest safe dtype. Key dtypes (for ``u·N + v`` scalar keys) are
+    resolved separately because the *product* overflows long before the
+    ids themselves do.
+    """
+
+    name: str = "auto"
+
+    def __post_init__(self) -> None:
+        if self.name not in DTYPE_POLICIES:
+            raise InvalidParameterError(
+                f"dtype policy must be one of {DTYPE_POLICIES}, got {self.name!r}"
+            )
+
+    @classmethod
+    def of(cls, policy: "DtypePolicy | str | None") -> "DtypePolicy":
+        if policy is None:
+            return cls("auto")
+        if isinstance(policy, DtypePolicy):
+            return policy
+        return cls(str(policy))
+
+    def resolve(self, max_value: int) -> np.dtype:
+        """Narrowest allowed integer dtype holding ``0..max_value``."""
+        if self.name == "int64":
+            return np.dtype(np.int64)
+        if self.name == "int32":
+            if not fits_int32(max_value):
+                raise InvalidParameterError(
+                    f"dtype policy int32 cannot hold max value {max_value}"
+                )
+            return np.dtype(np.int32)
+        return np.dtype(np.int32) if fits_int32(max_value) else np.dtype(np.int64)
+
+    def index_dtype(self, num_vertices: int, num_edges: int) -> np.dtype:
+        """Dtype for vertex/edge-id arrays: fits ``|V|``, ``|E|`` and the
+        CSR slot count ``2|E|`` (indptr values)."""
+        return self.resolve(max(int(num_vertices) + 1, 2 * int(num_edges)))
+
+    def key_dtype(self, num_vertices: int) -> np.dtype:
+        """Dtype for ``u·N + v`` scalar keys — guards the *product*.
+
+        Even when ids fit int32, the key wraps once ``N² > 2³¹``; this is
+        the latent overflow :meth:`CSRGraph.locate_slots` guards against
+        by falling back to int64 keys.
+        """
+        n = max(int(num_vertices), 1)
+        if n > int(np.sqrt(_I64_MAX)):  # pragma: no cover - 3e9+ vertices
+            raise InvalidParameterError(
+                f"keyed lookup over {n} vertices would overflow int64 keys"
+            )
+        max_key = n * n - 1
+        if self.name == "int64" or not fits_int32(max_key):
+            return np.dtype(np.int64)
+        return np.dtype(np.int32)
+
+
+class Workspace:
+    """Reusable scratch-buffer arena with byte accounting.
+
+    ``take(kind, size, dtype)`` returns a 1-D array view of at least
+    ``size`` elements, reusing (and growing) one buffer per
+    ``(kind, dtype)`` slot. The per-level SpNode/SpEdge loop requests
+    the same kinds every level, so steady-state allocation is zero.
+
+    ``high_water`` tracks the peak total bytes ever held — the number
+    published as the ``repro.mem.workspace_high_water`` gauge.
+    """
+
+    def __init__(self) -> None:
+        self._buffers: dict[tuple[str, np.dtype], np.ndarray] = {}
+        self.high_water: int = 0
+
+    @property
+    def current_bytes(self) -> int:
+        return sum(int(b.nbytes) for b in self._buffers.values())
+
+    def take(self, kind: str, size: int, dtype) -> np.ndarray:
+        """A scratch array of exactly ``size`` elements of ``dtype``.
+
+        Contents are unspecified (previous use leaks through); callers
+        must fully overwrite. Two live buffers need distinct kinds.
+        """
+        if size < 0:
+            raise InvalidParameterError(f"workspace size must be >= 0, got {size}")
+        dt = np.dtype(dtype)
+        key = (kind, dt)
+        buf = self._buffers.get(key)
+        if buf is None or buf.size < size:
+            self._buffers[key] = buf = np.empty(size, dtype=dt)
+            self.high_water = max(self.high_water, self.current_bytes)
+        return buf[:size]
+
+    def gather(self, kind: str, values: np.ndarray, indices: np.ndarray) -> np.ndarray:
+        """``values[indices]`` materialized into this workspace."""
+        out = self.take(kind, indices.size, values.dtype)
+        np.take(values, indices, out=out)
+        return out
+
+    def reset(self) -> None:
+        """Drop all buffers (high-water mark is preserved)."""
+        self._buffers.clear()
+
+
+@dataclass
+class ExecutionContext:
+    """Backend + workers + tracing + dtype policy + workspace for one run.
+
+    The single object threaded through every layer of the pipeline. Use
+    :meth:`ensure` to normalize optional arguments::
+
+        ctx = ExecutionContext.ensure(ctx)   # None / policy / handle ok
+
+    Kernels report barrier-synchronized rounds with :meth:`add_round`,
+    which targets the innermost open :meth:`region`; with no region open
+    it is a no-op, so kernels never need ``handle=None`` plumbing.
+    """
+
+    backend: str | SerialBackend | ThreadBackend = "serial"
+    num_workers: int = 1
+    trace: Instrumentation = field(default_factory=Instrumentation)
+    dtype: DtypePolicy | str = "auto"
+    workspace: Workspace = field(default_factory=Workspace)
+    _handles: list = field(default_factory=list, repr=False)
+
+    def __post_init__(self) -> None:
+        check_positive("num_workers", self.num_workers)
+        if isinstance(self.backend, str):
+            self.backend = get_backend(self.backend)
+        self.dtype = DtypePolicy.of(self.dtype)
+
+    # ------------------------------------------------------------------
+    # Normalization
+    # ------------------------------------------------------------------
+    @classmethod
+    def ensure(cls, obj=None) -> "ExecutionContext":
+        """Normalize ``None`` / ``ExecutionPolicy`` / region handle / ctx."""
+        if obj is None:
+            return cls()
+        if isinstance(obj, ExecutionContext):
+            return obj
+        # Legacy ExecutionPolicy (duck-typed to avoid a circular import).
+        if hasattr(obj, "backend") and hasattr(obj, "trace"):
+            return cls(
+                backend=obj.backend, num_workers=obj.num_workers, trace=obj.trace
+            )
+        # Bare region handle (the pre-context ``handle=`` convention).
+        if hasattr(obj, "add_round"):
+            ctx = cls()
+            ctx._handles.append(obj)
+            return ctx
+        raise InvalidParameterError(
+            f"cannot build an ExecutionContext from {type(obj).__name__}"
+        )
+
+    def with_dtype(self, dtype: DtypePolicy | str) -> "ExecutionContext":
+        """Copy of this context under a different dtype policy."""
+        return replace(self, dtype=DtypePolicy.of(dtype), _handles=[])
+
+    # ------------------------------------------------------------------
+    # Dtype decisions
+    # ------------------------------------------------------------------
+    def index_dtype(self, num_vertices: int, num_edges: int) -> np.dtype:
+        return self.dtype.index_dtype(num_vertices, num_edges)
+
+    def edge_dtype(self, num_edges: int) -> np.dtype:
+        """Dtype for arrays holding edge ids (comp, hook pairs, triples)."""
+        return self.dtype.resolve(max(int(num_edges), 1))
+
+    def key_dtype(self, num_vertices: int) -> np.dtype:
+        return self.dtype.key_dtype(num_vertices)
+
+    # ------------------------------------------------------------------
+    # Execution + accounting
+    # ------------------------------------------------------------------
+    def run(self, n: int, chunk_fn) -> None:
+        """Dispatch ``chunk_fn`` over ``range(n)`` on this backend."""
+        self.backend.run(n, chunk_fn, self.num_workers)
+
+    @contextmanager
+    def region(self, name: str, **kwargs) -> Iterator[_RegionHandle]:
+        """Open an instrumented region; nested kernels reach its handle
+        through :meth:`add_round`. The workspace high-water at exit is
+        attached to the span as ``ws_peak``."""
+        with self.trace.region(name, **kwargs) as handle:
+            self._handles.append(handle)
+            try:
+                yield handle
+            finally:
+                self._handles.pop()
+                handle.attrs["ws_peak"] = self.workspace.high_water
+
+    def add_round(self, work: int) -> None:
+        """Record one barrier-synchronized round on the innermost region."""
+        if self._handles:
+            self._handles[-1].add_round(work)
+
+    @property
+    def tracer(self):
+        return self.trace.tracer

@@ -88,7 +88,7 @@ class Instrumentation:
         finally:
             final_work = max(int(handle.work), 1)
             final_rounds = max(int(handle.rounds), 1)
-            sp.set(work=final_work, rounds=final_rounds)
+            sp.set(work=final_work, rounds=final_rounds, **handle.attrs)
             self.tracer.end(sp)
             self.regions.append(
                 Region(
@@ -147,11 +147,14 @@ class _RegionHandle:
     Callers that discover work incrementally open the region with
     ``work=0, rounds=0`` and call :meth:`add_round` once per
     barrier-synchronized round; callers that know the totals up front
-    just pass them to :meth:`Instrumentation.region`.
+    just pass them to :meth:`Instrumentation.region`. Extra span
+    attributes set in :attr:`attrs` (e.g. the execution context's
+    workspace high-water) are merged into the span when it closes.
     """
 
     work: int = 1
     rounds: int = 1
+    attrs: dict = field(default_factory=dict)
 
     def add_round(self, work: int) -> None:
         """Record one more barrier-synchronized round of ``work`` items."""

@@ -47,6 +47,11 @@ class TriangleSet:
     def count(self) -> int:
         return self.e_uv.size
 
+    @property
+    def nbytes(self) -> int:
+        """Bytes held by the three edge-id columns."""
+        return int(self.e_uv.nbytes + self.e_uw.nbytes + self.e_vw.nbytes)
+
     def as_matrix(self) -> np.ndarray:
         """``int64[T, 3]`` matrix of edge-id triples."""
         return np.stack([self.e_uv, self.e_uw, self.e_vw], axis=1)
@@ -93,14 +98,23 @@ def _degree_ordered_dag(graph: CSRGraph):
 
 
 def enumerate_triangles(
-    graph: CSRGraph, batch_slots: int = 1 << 18
+    graph: CSRGraph, batch_slots: int = 1 << 18, ctx=None
 ) -> TriangleSet:
     """Enumerate every triangle of ``graph`` exactly once.
 
     ``batch_slots`` bounds how many directed edges are expanded per
-    vectorized batch (peak temporary memory ≈ batch wedge count).
+    vectorized batch (peak temporary memory ≈ batch wedge count). The
+    edge-id triples are stored in the dtype of ``ctx``'s policy (falling
+    back to the graph's own index dtype) — they are the biggest derived
+    arrays of the pipeline, so narrowing them matters most.
     """
     check_positive("batch_slots", batch_slots)
+    if ctx is not None:
+        from repro.parallel.context import ExecutionContext
+
+        out_dtype = ExecutionContext.ensure(ctx).edge_dtype(graph.num_edges)
+    else:
+        out_dtype = graph.index_dtype
     n = graph.num_vertices
     indptr, heads, slot_eids, tails = _degree_ordered_dag(graph)
     num_slots = heads.size
@@ -158,11 +172,11 @@ def enumerate_triangles(
     process(all_slots[~expand_head], from_head=False)
 
     if parts_uv:
-        e_uv = np.concatenate(parts_uv)
-        e_uw = np.concatenate(parts_uw)
-        e_vw = np.concatenate(parts_vw)
+        e_uv = np.concatenate(parts_uv).astype(out_dtype, copy=False)
+        e_uw = np.concatenate(parts_uw).astype(out_dtype, copy=False)
+        e_vw = np.concatenate(parts_vw).astype(out_dtype, copy=False)
     else:
-        e_uv = e_uw = e_vw = np.empty(0, dtype=np.int64)
+        e_uv = e_uw = e_vw = np.empty(0, dtype=out_dtype)
     result = TriangleSet(e_uv=e_uv, e_uw=e_uw, e_vw=e_vw, num_edges=graph.num_edges)
     metrics.inc("repro.triangles.enumerated", result.count)
     metrics.inc("repro.triangles.enumerations")

@@ -22,15 +22,22 @@ class EdgeTriangleIncidence:
 
     __slots__ = ("indptr", "tri_ids", "num_edges", "_tri")
 
-    def __init__(self, triangles: TriangleSet) -> None:
+    def __init__(self, triangles: TriangleSet, ctx=None) -> None:
         m = triangles.num_edges
         t = triangles.count
+        if ctx is not None:
+            from repro.parallel.context import ExecutionContext
+
+            # tri_ids holds triangle ids (< t), indptr offsets up to 3t.
+            dt = ExecutionContext.ensure(ctx).dtype.resolve(max(3 * t, 1))
+        else:
+            dt = np.dtype(np.int64)
         eids = np.concatenate([triangles.e_uv, triangles.e_uw, triangles.e_vw])
-        tids = np.concatenate([np.arange(t, dtype=np.int64)] * 3)
+        tids = np.concatenate([np.arange(t, dtype=dt)] * 3)
         order = np.argsort(eids, kind="stable")
         eids, tids = eids[order], tids[order]
         counts = np.bincount(eids, minlength=m)
-        indptr = np.zeros(m + 1, dtype=np.int64)
+        indptr = np.zeros(m + 1, dtype=dt)
         np.cumsum(counts, out=indptr[1:])
         self.indptr = indptr
         self.tri_ids = tids

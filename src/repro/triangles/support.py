@@ -9,27 +9,30 @@ import numpy as np
 
 from repro.graph.csr import CSRGraph
 from repro.obs import metrics
-from repro.parallel.api import ExecutionPolicy
+from repro.parallel.context import ExecutionContext
 from repro.triangles.enumerate import TriangleSet, enumerate_triangles
 
 
 def compute_support(
     graph: CSRGraph,
     triangles: TriangleSet | None = None,
-    policy: ExecutionPolicy | None = None,
+    ctx: ExecutionContext | None = None,
+    *,
+    policy=None,
 ) -> np.ndarray:
     """Support (triangle count) of every edge, indexed by edge id.
 
     Reuses a precomputed :class:`TriangleSet` when given; otherwise
-    enumerates. When a policy is supplied, the enumeration cost is
-    recorded as the ``Support`` region of its trace.
+    enumerates. The enumeration cost is recorded as the ``Support``
+    region of the context's trace. ``policy`` is a deprecated alias for
+    ``ctx`` (legacy :class:`ExecutionPolicy` call sites).
     """
-    policy = ExecutionPolicy.default(policy)
-    with policy.trace.region(
+    ctx = ExecutionContext.ensure(ctx if ctx is not None else policy)
+    with ctx.region(
         "Support", work=graph.num_edges, intensity="mixed"
     ) as handle:
         if triangles is None:
-            triangles = enumerate_triangles(graph)
+            triangles = enumerate_triangles(graph, ctx=ctx)
         handle.work = max(triangles.count, graph.num_edges, 1)
         support = triangles.support()
         if support.size:

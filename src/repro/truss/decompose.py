@@ -22,7 +22,7 @@ import numpy as np
 from repro.errors import InvalidParameterError
 from repro.graph.csr import CSRGraph
 from repro.obs import metrics
-from repro.parallel.api import ExecutionPolicy
+from repro.parallel.context import ExecutionContext
 from repro.triangles.enumerate import TriangleSet, enumerate_triangles
 from repro.triangles.incidence import EdgeTriangleIncidence
 
@@ -79,7 +79,9 @@ def k_truss_edge_mask(decomp: TrussDecomposition, k: int) -> np.ndarray:
 def truss_decomposition(
     graph: CSRGraph,
     triangles: TriangleSet | None = None,
-    policy: ExecutionPolicy | None = None,
+    ctx: ExecutionContext | None = None,
+    *,
+    policy=None,
 ) -> TrussDecomposition:
     """Vectorized level-synchronous truss decomposition.
 
@@ -88,15 +90,16 @@ def truss_decomposition(
     removed edge, and decrements the support of the surviving member
     edges — one ``bincount`` scatter per sub-round. The frontier rounds
     are the barrier-synchronized rounds recorded for the machine model.
+    ``policy`` is a deprecated alias for ``ctx``.
     """
-    policy = ExecutionPolicy.default(policy)
+    ctx = ExecutionContext.ensure(ctx if ctx is not None else policy)
     if triangles is None:
-        triangles = enumerate_triangles(graph)
+        triangles = enumerate_triangles(graph, ctx=ctx)
     m = graph.num_edges
-    with policy.trace.region(
+    with ctx.region(
         "TrussDecomp", work=0, rounds=0, intensity="memory"
     ) as handle:
-        inc = EdgeTriangleIncidence(triangles)
+        inc = EdgeTriangleIncidence(triangles, ctx=ctx)
         sup = triangles.support().copy()
         support0 = sup.copy()
         tau = np.full(m, 2, dtype=np.int64)

@@ -11,7 +11,6 @@ import numpy as np
 
 from repro.errors import IndexIntegrityError, InvalidParameterError
 from repro.graph.csr import CSRGraph
-from repro.graph.edgelist import EdgeList
 from repro.triangles.enumerate import enumerate_triangles
 from repro.truss.decompose import TrussDecomposition
 

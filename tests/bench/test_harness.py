@@ -1,6 +1,5 @@
 """Unit tests for the benchmark harness pieces."""
 
-import numpy as np
 import pytest
 
 from repro.bench import ResultWriter, TextTable, bar_chart, get_workload, line_chart, run_variant

@@ -3,7 +3,6 @@
 import numpy as np
 import pytest
 
-from repro.cc import normalize_labels
 from repro.cc.threaded import shiloach_vishkin_threaded
 from repro.errors import InvalidParameterError
 from repro.graph import CSRGraph, build_graph

@@ -1,6 +1,5 @@
 """Tests for advanced index queries."""
 
-import numpy as np
 import pytest
 
 from repro.community import online_communities

@@ -1,6 +1,5 @@
 """Unit tests for community metrics."""
 
-import numpy as np
 
 from repro.community import (
     community_conductance,

@@ -15,7 +15,6 @@ from repro.graph.generators import (
     erdos_renyi_gnm,
     paper_example_graph,
     planted_community_graph,
-    rmat_graph,
 )
 
 

@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.distributed import SimComm, run_spmd
+from repro.distributed import run_spmd
 from repro.errors import BackendError, InvalidParameterError
 
 

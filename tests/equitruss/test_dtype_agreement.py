@@ -1,0 +1,89 @@
+"""Dtype-policy invariance: int32 and int64 builds are bit-identical.
+
+The canonical :class:`EquiTrussIndex` must not depend on whether the
+pipeline ran on narrow (int32) or wide (int64) arrays — for any variant,
+any graph. This pins the acceptance criterion of the adaptive-dtype
+refactor: ``auto`` may halve memory, never change answers.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.equitruss import build_index, equitruss_serial
+from repro.graph import CSRGraph
+from repro.graph.generators import erdos_renyi_gnm, paper_example_graph
+from repro.parallel import ExecutionContext
+
+VARIANTS = ["baseline", "coptimal", "afforest"]
+POLICIES = ["auto", "int32", "int64"]
+
+
+def build_under(edges, variant, dtype_policy):
+    ctx = ExecutionContext(dtype=dtype_policy)
+    g = CSRGraph.from_edgelist(edges, ctx=ctx)
+    return build_index(g, variant, ctx=ctx).index
+
+
+@pytest.mark.parametrize("variant", VARIANTS)
+def test_fig3_paper_example_exact_under_both_policies(variant):
+    """Fig. 3 of the paper: the example index, exact under every dtype."""
+    edges = paper_example_graph()
+    ref = equitruss_serial(CSRGraph.from_edgelist(edges))
+    ref.validate()
+    for dtype_policy in POLICIES:
+        idx = build_under(edges, variant, dtype_policy)
+        idx.validate()
+        assert idx == ref, (variant, dtype_policy)
+
+
+@pytest.mark.parametrize("variant", VARIANTS)
+def test_dtype_policies_agree_on_random_graph(variant):
+    edges = erdos_renyi_gnm(48, 260, seed=13)
+    built = {p: build_under(edges, variant, p) for p in POLICIES}
+    assert built["int32"] == built["int64"]
+    assert built["auto"] == built["int64"]
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    n=st.integers(min_value=4, max_value=30),
+    data=st.data(),
+)
+def test_property_int32_int64_identical_all_variants(n, data):
+    max_m = n * (n - 1) // 2
+    m = data.draw(st.integers(min_value=0, max_value=max_m))
+    seed = data.draw(st.integers(min_value=0, max_value=2**31 - 1))
+    edges = erdos_renyi_gnm(n, m, seed=seed)
+    ref = equitruss_serial(CSRGraph.from_edgelist(edges))
+    for variant in VARIANTS:
+        narrow = build_under(edges, variant, "int32")
+        wide = build_under(edges, variant, "int64")
+        assert narrow == wide, variant
+        assert narrow == ref, variant
+
+
+def test_narrow_build_really_uses_int32_arrays():
+    """Sanity: the auto policy actually narrows the hot arrays."""
+    ctx = ExecutionContext(dtype="auto")
+    edges = erdos_renyi_gnm(40, 200, seed=3)
+    g = CSRGraph.from_edgelist(edges, ctx=ctx)
+    assert g.index_dtype == np.dtype(np.int32)
+    from repro.triangles import enumerate_triangles
+
+    tri = enumerate_triangles(g, ctx=ctx)
+    assert tri.e_uv.dtype == np.dtype(np.int32)
+    result = build_index(g, "afforest", ctx=ctx)
+    assert result.index == equitruss_serial(g)
+    # canonical outputs stay int64 regardless of the build dtype
+    assert result.index.edge_supernode.dtype == np.dtype(np.int64)
+    assert result.index.superedges.dtype == np.dtype(np.int64)
+
+
+def test_forced_int32_rejects_oversized_graph():
+    from repro.errors import InvalidParameterError
+
+    ctx = ExecutionContext(dtype="int32")
+    with pytest.raises(InvalidParameterError):
+        ctx.dtype.resolve(np.iinfo(np.int32).max + 1)

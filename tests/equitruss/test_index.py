@@ -7,7 +7,6 @@ from repro.equitruss import build_index
 from repro.errors import IndexIntegrityError, InvalidParameterError
 from repro.graph import CSRGraph
 from repro.graph.generators import (
-    erdos_renyi_gnm,
     paper_example_graph,
     path_graph,
     rmat_graph,
@@ -42,7 +41,6 @@ def test_edges_of_sorted(paper_index):
 
 
 def test_supernodes_of_vertex(paper_index):
-    g = paper_index.graph
     # vertex 5 touches nu3 (its K4 + (5,7),(5,10)) only
     sns5 = paper_index.supernodes_of_vertex(5)
     assert len(sns5) == 1

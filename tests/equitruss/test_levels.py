@@ -52,7 +52,6 @@ def test_hook_pairs_require_third_edge_at_level():
     # hook through it (the triangle is outside the 4-truss)
     g, tri, dec = prepared(paper_example_graph())
     levels = build_level_structures(tri, dec.trussness)
-    tau = dec.trussness
     a, b = levels.hook_pairs(4)
     eid_03 = g.edges.edge_id(0, 3)   # tau 4
     eid_34 = g.edges.edge_id(3, 4)   # tau 4

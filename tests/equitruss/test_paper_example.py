@@ -6,7 +6,6 @@ reproduce them verbatim (the paper reports 100% output accuracy for all
 variants — Table 5 discussion).
 """
 
-import numpy as np
 import pytest
 
 from repro.equitruss import build_index, equitruss_serial

@@ -67,7 +67,6 @@ def test_sv_rounds_chain_converges():
     comp = np.arange(n, dtype=np.int64)
     a = np.arange(n - 1, dtype=np.int64)
     b = a + 1
-    handle = None
     rounds = sv_rounds_noskip(comp, a, b)
     assert np.all(comp == 0)
     assert rounds <= n  # log-ish in practice
@@ -92,7 +91,9 @@ def test_instrumentation_handles_record_work(prepared):
     comp = np.arange(g.num_edges, dtype=np.int64)
     with trace.region("SpNode", work=0, rounds=0) as h:
         for k in levels.levels.tolist():
-            spnode_coptimal(comp, levels, k, handle=h)
+            # passing a bare region handle still works via the
+            # ExecutionContext.ensure shim
+            spnode_coptimal(comp, levels, k, ctx=h)
     region = trace.regions[0]
     assert region.work >= levels.num_hook_pairs
     assert region.rounds >= levels.levels.size

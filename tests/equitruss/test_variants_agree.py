@@ -5,7 +5,6 @@ edges, and superedges of all parallel versions match the sequential
 reference exactly.
 """
 
-import numpy as np
 import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st

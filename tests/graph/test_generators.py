@@ -86,7 +86,6 @@ def test_planted_communities_structure():
         assert np.intersect1d(a, b).size == 2
     # p_intra=1 means each community is a clique
     for c in comms:
-        k = c.size
         sub = {
             (min(x, y), max(x, y))
             for x in c.tolist()

@@ -1,6 +1,5 @@
 """Unit tests for graph property utilities."""
 
-import numpy as np
 import pytest
 
 from repro.graph import CSRGraph, build_edgelist

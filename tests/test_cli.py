@@ -1,6 +1,5 @@
 """End-to-end CLI tests (generate → index → query → info)."""
 
-import numpy as np
 import pytest
 
 from repro.cli import main
@@ -53,8 +52,6 @@ def test_verify_subcommand(tmp_path, capsys):
     assert main(["verify", str(index_path)]) == 0
     assert "OK" in capsys.readouterr().out
     # corrupt the index and verify again
-    import numpy as np
-
     from repro.equitruss import EquiTrussIndex
 
     idx = EquiTrussIndex.load(index_path)
@@ -95,6 +92,42 @@ def test_query_requires_level(tmp_path, capsys):
     main(["index", str(graph_path), "--out", str(index_path)])
     capsys.readouterr()
     assert main(["query", str(index_path), "--vertex", "0"]) == 2
+
+
+def test_index_context_flags_and_trace_memory(tmp_path, capsys):
+    """--dtype/--backend/--workers on index, ws column in info --trace."""
+    graph_path = tmp_path / "g.npz"
+    trace_path = tmp_path / "run.trace.jsonl"
+    main(["generate", "gnm", "--n", "50", "--m", "240", "--seed", "7",
+          "--out", str(graph_path)])
+    capsys.readouterr()
+
+    outs = {}
+    for dtype in ("auto", "int32", "int64"):
+        index_path = tmp_path / f"i-{dtype}.npz"
+        assert main(["index", str(graph_path), "--out", str(index_path),
+                     "--dtype", dtype, "--backend", "thread", "--workers", "2",
+                     "--trace-out", str(trace_path)]) == 0
+        out = capsys.readouterr().out
+        assert "peak workspace" in out
+        outs[dtype] = out
+    assert "dtype=int32" in outs["auto"]
+    assert "dtype=int64" in outs["int64"]
+
+    # the three builds agree bit-for-bit
+    from repro.equitruss import EquiTrussIndex
+
+    built = {d: EquiTrussIndex.load(tmp_path / f"i-{d}.npz")
+             for d in ("auto", "int32", "int64")}
+    assert built["auto"] == built["int64"] == built["int32"]
+
+    # the exported trace carries per-kernel workspace peaks
+    assert main(["info", "--trace", str(trace_path)]) == 0
+    out = capsys.readouterr().out
+    assert "ws=" in out
+
+    assert main(["verify", str(tmp_path / 'i-auto.npz'), "--dtype", "int32"]) == 0
+    assert "OK" in capsys.readouterr().out
 
 
 def test_query_specific_k(tmp_path, capsys):

@@ -1,7 +1,6 @@
 """Linear-algebra truss decomposition cross-validation."""
 
 import numpy as np
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
