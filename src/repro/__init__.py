@@ -49,6 +49,7 @@ from repro.community import (
     search_communities_multi,
     top_r_communities,
 )
+from repro.serve import QueryCache, QueryDispatcher, QueryEngine
 from repro.core_decomp import core_decomposition, kcore_community
 from repro.distributed import (
     distributed_components,
@@ -103,6 +104,10 @@ __all__ = [
     "search_communities",
     "search_communities_multi",
     "top_r_communities",
+    # query serving
+    "QueryCache",
+    "QueryDispatcher",
+    "QueryEngine",
     # k-core comparator
     "core_decomposition",
     "kcore_community",

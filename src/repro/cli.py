@@ -113,7 +113,39 @@ def _cmd_index(args: argparse.Namespace) -> int:
     return 0
 
 
+def _parse_batch_file(path: str, default_k: int | None) -> list[tuple[int, int]]:
+    """Read ``vertex [k]`` request lines; blank lines and # comments ok."""
+    requests: list[tuple[int, int]] = []
+    for lineno, raw in enumerate(Path(path).read_text().splitlines(), start=1):
+        line = raw.split("#", 1)[0].strip()
+        if not line:
+            continue
+        parts = line.split()
+        if len(parts) not in (1, 2):
+            raise ValueError(f"{path}:{lineno}: expected 'vertex [k]', got {raw!r}")
+        vertex = int(parts[0])
+        k = int(parts[1]) if len(parts) == 2 else default_k
+        if k is None:
+            raise ValueError(
+                f"{path}:{lineno}: no k on the line and no --k default given"
+            )
+        requests.append((vertex, k))
+    return requests
+
+
+def _print_communities(communities, label: str) -> None:
+    for i, c in enumerate(communities):
+        verts = c.vertices()
+        head = ", ".join(map(str, verts[:12].tolist()))
+        more = "" if verts.size <= 12 else f", ... ({verts.size} total)"
+        print(f"[{i}] k={c.k} edges={c.num_edges} vertices={{{head}{more}}}")
+    if not communities:
+        print(f"{label}: no community at the requested level")
+
+
 def _cmd_query(args: argparse.Namespace) -> int:
+    import time
+
     from repro.community import (
         max_k_communities,
         search_communities,
@@ -122,26 +154,79 @@ def _cmd_query(args: argparse.Namespace) -> int:
     from repro.equitruss import EquiTrussIndex
 
     index = EquiTrussIndex.load(args.index)
-    if args.max_k:
-        k, communities = max_k_communities(index, args.vertex)
-        if not communities:
-            print(f"vertex {args.vertex}: no k-truss community")
-            return 0
-        print(f"vertex {args.vertex}: maximum cohesion k={k}")
-    elif args.top_r is not None:
-        communities = top_r_communities(index, args.vertex, args.top_r)
-    else:
-        if args.k is None:
-            print("either --k, --top-r, or --max-k is required", file=sys.stderr)
+    ctx = _make_context(args)
+    use_components = args.engine == "components"
+    if use_components and (args.max_k or args.top_r is not None):
+        print("--max-k/--top-r require --engine bfs", file=sys.stderr)
+        return 2
+
+    engine = None
+    if use_components:
+        from repro.serve import QueryEngine
+
+        engine = QueryEngine(index, ctx=ctx)
+        if args.warm_cache:
+            print(f"warmed {engine.warm()} communities")
+
+    if args.batch_file:
+        if args.vertex is not None:
+            print("--batch-file and --vertex are mutually exclusive", file=sys.stderr)
             return 2
-        communities = search_communities(index, args.vertex, args.k)
-    for i, c in enumerate(communities):
-        verts = c.vertices()
-        head = ", ".join(map(str, verts[:12].tolist()))
-        more = "" if verts.size <= 12 else f", ... ({verts.size} total)"
-        print(f"[{i}] k={c.k} edges={c.num_edges} vertices={{{head}{more}}}")
-    if not communities:
-        print(f"vertex {args.vertex}: no community at the requested level")
+        try:
+            requests = _parse_batch_file(args.batch_file, args.k)
+        except ValueError as exc:
+            print(str(exc), file=sys.stderr)
+            return 2
+        t0 = time.perf_counter()
+        if use_components:
+            from repro.serve import QueryDispatcher
+
+            answers = QueryDispatcher(engine, ctx=ctx).run(requests)
+        else:
+            with ctx.region("ServeBatch", work=len(requests), parallel=False):
+                answers = [search_communities(index, v, k, ctx=ctx) for v, k in requests]
+        elapsed = time.perf_counter() - t0
+        for (v, k), communities in zip(requests, answers):
+            sizes = ",".join(str(c.num_edges) for c in communities)
+            print(f"vertex {v} k={k}: {len(communities)} communities [{sizes}]")
+        qps = len(requests) / elapsed if elapsed > 0 else float("inf")
+        print(
+            f"served {len(requests)} queries in {elapsed:.4f}s "
+            f"({qps:.0f} q/s, engine={args.engine})"
+        )
+    else:
+        if args.vertex is None:
+            print("either --vertex or --batch-file is required", file=sys.stderr)
+            return 2
+        if args.max_k:
+            k, communities = max_k_communities(index, args.vertex)
+            if not communities:
+                print(f"vertex {args.vertex}: no k-truss community")
+                return 0
+            print(f"vertex {args.vertex}: maximum cohesion k={k}")
+        elif args.top_r is not None:
+            communities = top_r_communities(index, args.vertex, args.top_r)
+        else:
+            if args.k is None:
+                print("either --k, --top-r, or --max-k is required", file=sys.stderr)
+                return 2
+            if use_components:
+                communities = engine.query(args.vertex, args.k)
+            else:
+                communities = search_communities(index, args.vertex, args.k, ctx=ctx)
+        _print_communities(communities, f"vertex {args.vertex}")
+
+    if engine is not None:
+        s = engine.stats()
+        print(
+            f"cache: {s['cache_hits']} hits / {s['cache_misses']} misses, "
+            f"{s['materialized_communities']} communities materialized"
+        )
+    if args.trace_out:
+        from repro.obs.export import write_trace_jsonl
+
+        path = write_trace_jsonl(ctx.tracer, args.trace_out)
+        print(f"wrote trace -> {path}")
     return 0
 
 
@@ -250,12 +335,24 @@ def build_parser() -> argparse.ArgumentParser:
 
     q = sub.add_parser("query", help="local community search from a saved index")
     q.add_argument("index", help="index .npz from the index subcommand")
-    q.add_argument("--vertex", type=int, required=True)
+    q.add_argument("--vertex", type=int, default=None)
     q.add_argument("--k", type=int, default=None)
     q.add_argument("--top-r", type=int, default=None,
                    help="return the r most cohesive communities")
     q.add_argument("--max-k", action="store_true",
                    help="query at the vertex's maximum cohesion level")
+    q.add_argument("--engine", default="bfs", choices=["bfs", "components"],
+                   help="bfs: per-query supergraph BFS; components: the "
+                        "precomputed-component serving engine")
+    q.add_argument("--batch-file", default=None, metavar="PATH",
+                   help="serve a batch: one 'vertex [k]' request per line "
+                        "(k falls back to --k)")
+    q.add_argument("--warm-cache", action="store_true",
+                   help="components engine: materialize every community "
+                        "up front before serving")
+    q.add_argument("--trace-out", default=None, metavar="PATH",
+                   help="write the per-request span trace as JSONL")
+    add_context_flags(q)
     q.set_defaults(func=_cmd_query)
 
     info = sub.add_parser("info", help="summarize a graph, index, or trace file")

@@ -76,6 +76,22 @@ class DynamicEquiTruss:
         self._tri_comp = self._triangle_components()
         self.index = self._rebuild_index()
         self.last_update: UpdateStats | None = None
+        self._invalidation_hooks: list = []
+
+    # ------------------------------------------------------------------
+    def add_invalidation_hook(self, hook) -> None:
+        """Register ``hook(new_index)`` to run after every edge update.
+
+        This is how derived state (the serving layer's component tables
+        and result caches — see :meth:`repro.serve.QueryEngine.attach`)
+        stays consistent with the index: any answer computed from the
+        pre-update index must be dropped before the update returns.
+        """
+        self._invalidation_hooks.append(hook)
+
+    def _notify_invalidation(self) -> None:
+        for hook in self._invalidation_hooks:
+            hook(self.index)
 
     # ------------------------------------------------------------------
     def _triangle_components(self) -> np.ndarray:
@@ -180,6 +196,7 @@ class DynamicEquiTruss:
             affected_edges=int(affected.sum()),
             total_edges=new_edges.num_edges,
         )
+        self._notify_invalidation()
         return self.last_update
 
     # ------------------------------------------------------------------
@@ -233,6 +250,7 @@ class DynamicEquiTruss:
             affected_edges=int(affected.sum()),
             total_edges=new_edges.num_edges,
         )
+        self._notify_invalidation()
         return self.last_update
 
 

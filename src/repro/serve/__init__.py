@@ -1,0 +1,29 @@
+"""Query serving: batched, cached community search over a built index.
+
+The construction side of the paper (parallel EquiTruss build) makes the
+index cheap; this package makes *answering queries from it* cheap at
+traffic scale. Where :func:`repro.community.search.search_communities`
+runs a fresh Python BFS over the supergraph per query, the
+:class:`QueryEngine` precomputes the connected components of every
+τ ≥ k filtered supernode graph once (a single union-find sweep over the
+superedges), so a query is O(#anchors) label lookups; batches resolve
+all anchors with one CSR gather, results are LRU-cached per
+``(vertex, k)``, and a :class:`QueryDispatcher` fans request batches
+across :class:`~repro.parallel.context.ExecutionContext` workers.
+
+Correctness contract: every engine path (cached or not, batch or
+single) returns communities byte-identical to ``search_communities``;
+``tests/serve/`` pins this differentially on randomized graphs.
+"""
+
+from repro.serve.cache import QueryCache
+from repro.serve.components import LevelComponents
+from repro.serve.engine import QueryEngine
+from repro.serve.dispatch import QueryDispatcher
+
+__all__ = [
+    "LevelComponents",
+    "QueryCache",
+    "QueryDispatcher",
+    "QueryEngine",
+]

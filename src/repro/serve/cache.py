@@ -1,0 +1,84 @@
+"""Thread-safe LRU cache for materialized query results.
+
+Keys are ``(vertex, k)``; values are the canonical community lists the
+engine returned. Entries are treated as immutable (``Community`` is a
+frozen dataclass) so a hit hands back the cached list itself. The cache
+exposes explicit invalidation — the hook
+:class:`~repro.equitruss.dynamic.DynamicEquiTruss` updates trigger via
+``QueryEngine.refresh`` — plus hit/miss/eviction counters mirrored into
+the ``repro.serve.cache.*`` metrics.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+
+from repro.errors import InvalidParameterError
+from repro.obs import metrics
+
+
+class QueryCache:
+    """LRU over ``(vertex, k)`` with explicit invalidation.
+
+    ``capacity=0`` disables caching entirely (every lookup misses and
+    ``put`` is a no-op) — useful for differential tests of the uncached
+    path and for memory-constrained serving.
+    """
+
+    def __init__(self, capacity: int = 1024) -> None:
+        if capacity < 0:
+            raise InvalidParameterError(f"cache capacity must be >= 0, got {capacity}")
+        self.capacity = capacity
+        self._data: OrderedDict = OrderedDict()
+        self._lock = threading.Lock()
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+        self.invalidations = 0
+
+    def __len__(self) -> int:
+        return len(self._data)
+
+    def __contains__(self, key) -> bool:
+        return key in self._data
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    def get(self, key):
+        """The cached value (refreshed to most-recent), or ``None``."""
+        with self._lock:
+            try:
+                value = self._data.pop(key)
+            except KeyError:
+                self.misses += 1
+                metrics.inc("repro.serve.cache.misses")
+                return None
+            self._data[key] = value
+            self.hits += 1
+        metrics.inc("repro.serve.cache.hits")
+        return value
+
+    def put(self, key, value) -> None:
+        if self.capacity == 0:
+            return
+        with self._lock:
+            self._data.pop(key, None)
+            self._data[key] = value
+            while len(self._data) > self.capacity:
+                self._data.popitem(last=False)
+                self.evictions += 1
+                metrics.inc("repro.serve.cache.evictions")
+            size = len(self._data)
+        metrics.set_gauge("repro.serve.cache.size", size)
+
+    def invalidate(self) -> None:
+        """Drop every entry (counters are preserved)."""
+        with self._lock:
+            self._data.clear()
+            self.invalidations += 1
+        metrics.inc("repro.serve.cache.invalidations")
+        metrics.set_gauge("repro.serve.cache.size", 0)

@@ -1,0 +1,86 @@
+"""Per-level supernode components — the QueryEngine's precompute.
+
+``search_communities`` answers one query with a BFS over the τ ≥ k
+restricted supergraph. The reachable sets that BFS discovers are
+exactly the connected components of the filtered supernode graph — a
+pure function of the index shared by every query at the same k. This
+module computes them for *all* levels up front with the ``repro.cc``
+hooking machinery, turning each query into component-label lookups.
+
+The sweep is incremental. A superedge is present at level k iff both
+endpoints have τ ≥ k, i.e. iff ``min(τ(a), τ(b)) ≥ k``. Processing the
+distinct trussness levels in descending order, each superedge is hooked
+exactly once — at the highest level that includes it — and the parent
+array carries over to every lower level, so the whole precompute is one
+union-find sweep over ``index.superedges`` (O(SE α) hooking work plus
+one label snapshot per level).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.cc.core import compress, minlabel_hook_rounds
+from repro.equitruss.index import EquiTrussIndex
+from repro.obs import metrics
+from repro.parallel.context import ExecutionContext
+
+
+class LevelComponents:
+    """Component labels of the τ ≥ k supernode graph, for every level k.
+
+    ``levels`` holds the distinct supernode trussness values (ascending).
+    Because the supernode set {τ ≥ k} is unchanged between consecutive
+    levels, a query at any k ≥ 3 resolves against the smallest stored
+    level ≥ k (:meth:`resolve_level`); k above ``levels[-1]`` has no
+    communities anywhere in the graph.
+    """
+
+    __slots__ = ("levels", "_labels")
+
+    def __init__(self, index: EquiTrussIndex, ctx: ExecutionContext | None = None) -> None:
+        ctx = ExecutionContext.ensure(ctx)
+        sn_k = index.supernode_trussness
+        self.levels: np.ndarray = np.unique(sn_k)  # all ≥ 3 by construction
+        self._labels: dict[int, np.ndarray] = {}
+        comp = np.arange(index.num_supernodes, dtype=np.int64)
+        se = index.superedges
+        if se.shape[0]:
+            min_tau = np.minimum(sn_k[se[:, 0]], sn_k[se[:, 1]])
+            order = np.argsort(-min_tau, kind="stable")
+            sa, sb, min_tau = se[order, 0], se[order, 1], min_tau[order]
+        else:
+            sa = sb = min_tau = np.empty(0, dtype=np.int64)
+        pos = 0
+        with ctx.region("PrecomputeComponents", work=int(se.shape[0]), parallel=False):
+            for k in self.levels[::-1].tolist():
+                end = int(np.searchsorted(-min_tau, -k, side="right"))
+                if end > pos:
+                    minlabel_hook_rounds(comp, sa[pos:end], sb[pos:end], ctx=ctx)
+                    # nodes hooked at higher levels may now point one step
+                    # behind their new root; snapshots must be fully flat
+                    compress(comp, ctx=ctx)
+                    pos = end
+                self._labels[int(k)] = comp.copy()
+        metrics.set_gauge("repro.serve.component_levels", len(self._labels))
+
+    @property
+    def kmax(self) -> int:
+        return int(self.levels[-1]) if self.levels.size else 2
+
+    def resolve_level(self, k: int) -> int | None:
+        """Smallest stored level ≥ k (the one whose filtered supernode
+        set — and hence components — equals the τ ≥ k filter), or
+        ``None`` when k exceeds every trussness in the graph."""
+        i = int(np.searchsorted(self.levels, k, side="left"))
+        if i == self.levels.size:
+            return None
+        return int(self.levels[i])
+
+    def labels(self, level: int) -> np.ndarray:
+        """Component label per supernode at a stored level. Labels are
+        only meaningful for supernodes with τ ≥ level (each is the
+        minimum member supernode id of its component); τ < level
+        supernodes keep their own id, which never collides with a
+        τ ≥ level component label."""
+        return self._labels[level]

@@ -1,0 +1,277 @@
+"""The component-based community-query engine.
+
+Answers the same question as
+:func:`repro.community.search.search_communities` — all k-truss
+communities of a query vertex — but from precomputed per-level
+supernode components (:class:`~repro.serve.components.LevelComponents`)
+instead of a per-query BFS:
+
+1. *Anchor* exactly as the BFS engine does (supernodes with τ ≥ k
+   holding an edge incident to q).
+2. *Lookup* the anchors' component labels at the level covering k —
+   each distinct label is one community (no traversal).
+3. *Materialize* the community's edges once per ``(level, component)``
+   and memoize; repeat queries into the same community share the
+   array.
+
+On top sit a per-``(vertex, k)`` LRU result cache and a vectorized
+batch path (:meth:`QueryEngine.query_many`) that resolves the anchors
+of a whole request batch with one CSR gather.
+"""
+
+from __future__ import annotations
+
+import time
+from collections import defaultdict
+
+import numpy as np
+
+from repro.community.model import Community, canonical_order
+from repro.equitruss.index import EquiTrussIndex
+from repro.errors import InvalidParameterError
+from repro.obs import metrics
+from repro.parallel.context import ExecutionContext
+from repro.serve.cache import QueryCache
+from repro.serve.components import LevelComponents
+
+
+class QueryEngine:
+    """Batched, cached k-truss community queries over an EquiTruss index.
+
+    Construction runs the component precompute (one union-find sweep
+    over the superedges). ``cache_size`` bounds the LRU result cache
+    (0 disables it). Attach to a :class:`DynamicEquiTruss` with
+    :meth:`attach` so index updates invalidate the caches automatically.
+    """
+
+    def __init__(
+        self,
+        index: EquiTrussIndex,
+        ctx: ExecutionContext | None = None,
+        cache_size: int = 1024,
+    ) -> None:
+        self.ctx = ExecutionContext.ensure(ctx)
+        self.cache = QueryCache(cache_size)
+        self._bind(index)
+
+    def _bind(self, index: EquiTrussIndex) -> None:
+        self.index = index
+        self.components = LevelComponents(index, ctx=self.ctx)
+        # (level, component label) -> sorted member edge ids, shared by
+        # every query that lands in the community
+        self._materialized: dict[tuple[int, int], np.ndarray] = {}
+
+    # ------------------------------------------------------------------
+    # Cache lifecycle
+    # ------------------------------------------------------------------
+    def refresh(self, index: EquiTrussIndex) -> None:
+        """Rebind to a (rebuilt) index and drop every derived cache.
+
+        This is the invalidation contract: after ``refresh`` no answer
+        derived from the old index can be served. Registered as the
+        update hook by :meth:`attach`.
+        """
+        self._bind(index)
+        self.cache.invalidate()
+
+    def invalidate(self) -> None:
+        """Drop the result cache (components stay — the index is unchanged)."""
+        self.cache.invalidate()
+
+    @classmethod
+    def attach(cls, dynamic, ctx=None, cache_size: int = 1024) -> "QueryEngine":
+        """Engine over ``dynamic.index`` whose caches track its updates."""
+        engine = cls(dynamic.index, ctx=ctx, cache_size=cache_size)
+        dynamic.add_invalidation_hook(engine.refresh)
+        return engine
+
+    # ------------------------------------------------------------------
+    # Single query
+    # ------------------------------------------------------------------
+    def query(self, vertex: int, k: int, record: bool = True) -> list[Community]:
+        """All k-truss communities of ``vertex`` (canonical order).
+
+        Byte-identical to ``search_communities(index, vertex, k)``.
+        ``record=False`` skips the per-request ``Query`` span (used by
+        the concurrent dispatcher, whose workers must not interleave
+        spans on a shared tracer).
+        """
+        self._check_k(k)
+        key = (int(vertex), int(k))
+        hit = self.cache.get(key)
+        if hit is not None:
+            return hit
+        t0 = time.perf_counter()
+        if record:
+            with self.ctx.region("Query", work=0, parallel=False) as handle:
+                communities = self._resolve(vertex, k, handle)
+        else:
+            communities = self._resolve(vertex, k, None)
+        self.cache.put(key, communities)
+        metrics.inc("repro.serve.queries")
+        metrics.observe("repro.serve.latency_seconds", time.perf_counter() - t0)
+        return communities
+
+    def _resolve(self, vertex: int, k: int, handle) -> list[Community]:
+        anchors = self.index.supernodes_of_vertex(vertex, k_min=k)
+        if anchors.size == 0:
+            return []
+        level = self.components.resolve_level(k)
+        if level is None:  # pragma: no cover - anchors imply a level exists
+            return []
+        roots = np.unique(self.components.labels(level)[anchors])
+        if handle is not None:
+            handle.work += int(anchors.size)
+        communities = [
+            Community(k=k, edge_ids=self._community_edges(level, int(r)), graph=self.index.graph)
+            for r in roots.tolist()
+        ]
+        return canonical_order(communities)
+
+    # ------------------------------------------------------------------
+    # Batch query
+    # ------------------------------------------------------------------
+    def query_many(self, vertices, k: int, record: bool = True) -> list[list[Community]]:
+        """Communities for every vertex of a batch at one k.
+
+        Cached entries are served from the LRU; the misses are resolved
+        together — one CSR gather pulls the incident edge ids of all
+        uncached vertices, one scatter maps them to anchor supernodes,
+        and one unique pass yields each vertex's component labels.
+        Results align with the input order.
+        """
+        self._check_k(k)
+        vs = np.asarray(vertices, dtype=np.int64).ravel()
+        n = self.index.graph.num_vertices
+        if vs.size and (int(vs.min()) < 0 or int(vs.max()) >= n):
+            raise InvalidParameterError("batch contains an out-of-range vertex")
+        t0 = time.perf_counter()
+        results: list[list[Community] | None] = [None] * vs.size
+        misses: list[int] = []
+        for i, v in enumerate(vs.tolist()):
+            hit = self.cache.get((v, int(k)))
+            if hit is not None:
+                results[i] = hit
+            else:
+                misses.append(i)
+        if misses:
+            if record:
+                with self.ctx.region(
+                    "QueryBatch", work=len(misses), parallel=False
+                ) as handle:
+                    self._resolve_batch(vs, k, misses, results)
+                    handle.attrs["batch_size"] = int(vs.size)
+            else:
+                self._resolve_batch(vs, k, misses, results)
+            for i in misses:
+                self.cache.put((int(vs[i]), int(k)), results[i])
+        metrics.inc("repro.serve.queries", len(misses))
+        metrics.inc("repro.serve.batch_requests", int(vs.size))
+        metrics.observe("repro.serve.batch_latency_seconds", time.perf_counter() - t0)
+        return results  # type: ignore[return-value]
+
+    def _resolve_batch(
+        self, vs: np.ndarray, k: int, misses: list[int], results: list
+    ) -> None:
+        for i in misses:
+            results[i] = []
+        level = self.components.resolve_level(k)
+        if level is None:
+            return
+        graph = self.index.graph
+        sub = vs[np.asarray(misses, dtype=np.int64)]
+        indptr = graph.indptr
+        starts = indptr[sub].astype(np.int64, copy=False)
+        counts = (indptr[sub + 1] - indptr[sub]).astype(np.int64, copy=False)
+        total = int(counts.sum())
+        if total == 0:
+            return
+        # one gather: incident edge ids of every uncached vertex at once
+        cum = np.concatenate([np.zeros(1, np.int64), np.cumsum(counts)])
+        local = np.arange(total, dtype=np.int64) - np.repeat(cum[:-1], counts)
+        eids = graph.edge_ids[np.repeat(starts, counts) + local]
+        owner = np.repeat(np.arange(len(misses), dtype=np.int64), counts)
+        sns = self.index.edge_supernode[np.asarray(eids, dtype=np.int64)]
+        keep = sns >= 0
+        sns, owner = sns[keep], owner[keep]
+        if sns.size:
+            keep = self.index.supernode_trussness[sns] >= k
+            sns, owner = sns[keep], owner[keep]
+        if sns.size == 0:
+            return
+        labels = self.components.labels(level)[sns]
+        span = np.int64(max(self.index.num_supernodes, 1))
+        pair_keys = np.unique(owner * span + labels)
+        per_owner: dict[int, list[int]] = defaultdict(list)
+        for ow, lb in zip((pair_keys // span).tolist(), (pair_keys % span).tolist()):
+            per_owner[ow].append(lb)
+        for slot, labs in per_owner.items():
+            communities = [
+                Community(
+                    k=k,
+                    edge_ids=self._community_edges(level, lb),
+                    graph=graph,
+                )
+                for lb in labs
+            ]
+            results[misses[slot]] = canonical_order(communities)
+
+    # ------------------------------------------------------------------
+    # Community materialization
+    # ------------------------------------------------------------------
+    def _community_edges(self, level: int, root: int) -> np.ndarray:
+        """Sorted member edge ids of one (level, component) — memoized."""
+        key = (level, root)
+        cached = self._materialized.get(key)
+        if cached is not None:
+            return cached
+        comp = self.components.labels(level)
+        members = np.flatnonzero(
+            (comp == root) & (self.index.supernode_trussness >= level)
+        )
+        indptr = self.index.supernode_indptr
+        counts = indptr[members + 1] - indptr[members]
+        total = int(counts.sum())
+        cum = np.concatenate([np.zeros(1, np.int64), np.cumsum(counts)])
+        local = np.arange(total, dtype=np.int64) - np.repeat(cum[:-1], counts)
+        edge_ids = np.sort(
+            self.index.supernode_edges[np.repeat(indptr[members], counts) + local]
+        )
+        self._materialized[key] = edge_ids
+        return edge_ids
+
+    def warm(self) -> int:
+        """Materialize every community at every level; returns how many."""
+        before = len(self._materialized)
+        sn_k = self.index.supernode_trussness
+        for level in self.components.levels.tolist():
+            comp = self.components.labels(level)
+            for root in np.unique(comp[sn_k >= level]).tolist():
+                self._community_edges(level, int(root))
+        warmed = len(self._materialized) - before
+        metrics.inc("repro.serve.warmed_communities", warmed)
+        return warmed
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _check_k(k: int) -> None:
+        if k < 3:
+            raise InvalidParameterError(
+                f"k must be >= 3 for k-truss communities, got {k}"
+            )
+
+    def stats(self) -> dict[str, int | float]:
+        return {
+            "levels": int(self.components.levels.size),
+            "materialized_communities": len(self._materialized),
+            "cache_entries": len(self.cache),
+            "cache_hits": self.cache.hits,
+            "cache_misses": self.cache.misses,
+            "cache_hit_rate": self.cache.hit_rate,
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"QueryEngine(supernodes={self.index.num_supernodes}, "
+            f"levels={self.components.levels.size}, cache={len(self.cache)})"
+        )

@@ -1,0 +1,24 @@
+"""Smoke: the query-serving ablation runs as a standalone script."""
+
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parents[2]
+
+
+def test_bench_ablation_query_smoke(tmp_path):
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(REPO / "src") + os.pathsep + env.get("PYTHONPATH", "")
+    proc = subprocess.run(
+        [sys.executable, str(REPO / "benchmarks" / "bench_ablation_query.py"), "--smoke"],
+        capture_output=True,
+        text=True,
+        env=env,
+        cwd=tmp_path,  # results land under benchmarks/results via absolute path
+        timeout=300,
+    )
+    assert proc.returncode == 0, proc.stderr
+    assert "identical to the BFS reference" in proc.stdout
+    assert "speedup" in proc.stdout

@@ -1,0 +1,69 @@
+"""Unit behavior of the serving LRU cache."""
+
+import pytest
+
+from repro.errors import InvalidParameterError
+from repro.serve import QueryCache
+
+
+def test_hit_miss_counters():
+    c = QueryCache(capacity=4)
+    assert c.get((0, 3)) is None
+    assert c.misses == 1 and c.hits == 0
+    c.put((0, 3), ["x"])
+    assert c.get((0, 3)) == ["x"]
+    assert c.hits == 1
+    assert c.hit_rate == 0.5
+    assert (0, 3) in c and len(c) == 1
+
+
+def test_lru_eviction_order():
+    c = QueryCache(capacity=2)
+    c.put("a", 1)
+    c.put("b", 2)
+    assert c.get("a") == 1  # refresh "a": "b" is now least recent
+    c.put("c", 3)
+    assert c.evictions == 1
+    assert c.get("b") is None
+    assert c.get("a") == 1 and c.get("c") == 3
+
+
+def test_put_existing_key_updates_without_evicting():
+    c = QueryCache(capacity=2)
+    c.put("a", 1)
+    c.put("b", 2)
+    c.put("a", 10)
+    assert c.evictions == 0
+    assert c.get("a") == 10
+
+
+def test_capacity_zero_disables_caching():
+    c = QueryCache(capacity=0)
+    c.put("a", 1)
+    assert len(c) == 0
+    assert c.get("a") is None
+
+
+def test_invalidate_clears_but_keeps_counters():
+    c = QueryCache(capacity=4)
+    c.put("a", 1)
+    c.get("a")
+    c.invalidate()
+    assert len(c) == 0
+    assert c.hits == 1
+    assert c.invalidations == 1
+    assert c.get("a") is None  # post-invalidation lookup is a miss
+
+
+def test_negative_capacity_rejected():
+    with pytest.raises(InvalidParameterError):
+        QueryCache(capacity=-1)
+
+
+def test_empty_list_is_a_cacheable_value():
+    # [] is falsy but a legitimate result (vertex with no communities);
+    # the cache must distinguish it from a miss
+    c = QueryCache(capacity=2)
+    c.put((1, 3), [])
+    assert c.get((1, 3)) == []
+    assert c.hits == 1

@@ -1,0 +1,104 @@
+"""Cache invalidation under dynamic index updates.
+
+The contract: after any ``DynamicEquiTruss`` edge update, an attached
+engine must never serve an answer derived from the pre-update index —
+hit, then invalidate, then miss — and post-update answers must match a
+from-scratch rebuild of the index on the updated graph.
+"""
+
+import numpy as np
+
+from repro.community import search_communities
+from repro.community.search import query_candidate_ks
+from repro.equitruss import DynamicEquiTruss, build_index
+from repro.graph import CSRGraph
+from repro.graph.generators import complete_graph, erdos_renyi_gnm
+from repro.serve import QueryEngine
+
+
+def assert_identical(expected, got):
+    assert len(expected) == len(got)
+    for exp, g in zip(expected, got):
+        assert exp.k == g.k and np.array_equal(exp.edge_ids, g.edge_ids)
+
+
+def test_hit_then_invalidate_then_miss():
+    g = CSRGraph.from_edgelist(erdos_renyi_gnm(24, 110, seed=4))
+    dyn = DynamicEquiTruss(g)
+    engine = QueryEngine.attach(dyn)
+
+    engine.query(0, 3)
+    assert engine.cache.misses == 1 and engine.cache.hits == 0
+    engine.query(0, 3)
+    assert engine.cache.hits == 1  # hit
+
+    dyn.insert_edges([0, 0, 1], [1, 2, 2])  # invalidate (forms a triangle at 0)
+    assert len(engine.cache) == 0
+    assert engine.cache.invalidations >= 1
+
+    hits_before = engine.cache.hits
+    engine.query(0, 3)
+    assert engine.cache.hits == hits_before  # miss: recomputed, not served stale
+
+
+def test_no_stale_results_after_insert():
+    # K4 plus an isolated-ish vertex; inserting edges promotes trussness
+    g = CSRGraph.from_edgelist(complete_graph(4))
+    dyn = DynamicEquiTruss(g)
+    engine = QueryEngine.attach(dyn)
+    (before,) = engine.query(0, 4)
+    assert before.num_edges == 6
+
+    # densify to K5: the k=4 community must now include vertex 4's edges
+    dyn.insert_edges([0, 1, 2, 3], [4, 4, 4, 4])
+    (after,) = engine.query(0, 4)
+    assert after.num_edges == 10
+    assert 4 in after.vertices().tolist()
+
+
+def test_post_update_answers_match_fresh_rebuild():
+    g = CSRGraph.from_edgelist(erdos_renyi_gnm(28, 130, seed=6))
+    dyn = DynamicEquiTruss(g)
+    engine = QueryEngine.attach(dyn)
+    for q in range(0, 28, 5):
+        engine.query(q, 3)  # populate the cache pre-update
+
+    dyn.insert_edges([0, 1, 2, 5], [9, 9, 9, 9])
+    dyn.remove_edges(dyn.graph.edges.u[:2], dyn.graph.edges.v[:2])
+
+    fresh = build_index(dyn.graph, "afforest").index
+    assert fresh == dyn.index
+    for q in range(dyn.graph.num_vertices):
+        for k in query_candidate_ks(fresh, q).tolist():
+            assert_identical(
+                search_communities(fresh, q, int(k)), engine.query(q, int(k))
+            )
+
+
+def test_refresh_and_invalidate_without_dynamic():
+    g = CSRGraph.from_edgelist(erdos_renyi_gnm(20, 90, seed=8))
+    index = build_index(g, "afforest").index
+    engine = QueryEngine(index)
+    r1 = engine.query(0, 3)
+    engine.invalidate()  # result cache only; components stay
+    assert len(engine.cache) == 0
+    assert_identical(r1, engine.query(0, 3))
+
+    g2 = CSRGraph.from_edgelist(erdos_renyi_gnm(20, 95, seed=9))
+    index2 = build_index(g2, "afforest").index
+    engine.refresh(index2)  # full rebind
+    assert engine.index is index2
+    for q in range(20):
+        assert_identical(search_communities(index2, q, 3), engine.query(q, 3))
+
+
+def test_multiple_attached_engines_all_invalidated():
+    g = CSRGraph.from_edgelist(erdos_renyi_gnm(22, 100, seed=3))
+    dyn = DynamicEquiTruss(g)
+    engines = [QueryEngine.attach(dyn) for _ in range(3)]
+    for e in engines:
+        e.query(1, 3)
+    dyn.insert_edges([0], [1])
+    for e in engines:
+        assert len(e.cache) == 0
+        assert e.index is dyn.index

@@ -1,0 +1,77 @@
+"""Concurrent dispatcher: identical results on every backend."""
+
+import numpy as np
+
+from repro.community import search_communities
+from repro.equitruss import build_index
+from repro.graph import CSRGraph
+from repro.graph.generators import erdos_renyi_gnm
+from repro.parallel.context import ExecutionContext
+from repro.serve import QueryDispatcher, QueryEngine
+
+
+def reference(index, requests):
+    return [search_communities(index, v, k) for v, k in requests]
+
+
+def assert_all_identical(expected, got):
+    assert len(expected) == len(got)
+    for exp_list, got_list in zip(expected, got):
+        assert len(exp_list) == len(got_list)
+        for e, g in zip(exp_list, got_list):
+            assert e.k == g.k and np.array_equal(e.edge_ids, g.edge_ids)
+
+
+def make_requests(g, ks=(3, 4, 5)):
+    return [(v, k) for v in range(0, g.num_vertices, 2) for k in ks]
+
+
+def test_serial_dispatch_matches_bfs():
+    g = CSRGraph.from_edgelist(erdos_renyi_gnm(36, 180, seed=12))
+    index = build_index(g, "afforest").index
+    engine = QueryEngine(index)
+    requests = make_requests(g)
+    results = QueryDispatcher(engine).run(requests)
+    assert_all_identical(reference(index, requests), results)
+
+
+def test_threaded_dispatch_matches_serial():
+    g = CSRGraph.from_edgelist(erdos_renyi_gnm(36, 180, seed=13))
+    index = build_index(g, "afforest").index
+    requests = make_requests(g)
+    expected = reference(index, requests)
+    for workers in (2, 4):
+        ctx = ExecutionContext(backend="thread", num_workers=workers)
+        engine = QueryEngine(index, ctx=ctx)
+        assert_all_identical(expected, QueryDispatcher(engine).run(requests))
+
+
+def test_dispatch_mixed_ks_and_repeats_hit_cache():
+    g = CSRGraph.from_edgelist(erdos_renyi_gnm(30, 150, seed=14))
+    index = build_index(g, "afforest").index
+    engine = QueryEngine(index)
+    requests = make_requests(g)
+    dispatcher = QueryDispatcher(engine)
+    expected = reference(index, requests)
+    assert_all_identical(expected, dispatcher.run(requests))
+    assert engine.cache.hits == 0
+    # repeat traffic: the second pass is served entirely from the LRU
+    assert_all_identical(expected, dispatcher.run(requests))
+    assert engine.cache.hits == len(requests)
+
+
+def test_empty_batch():
+    g = CSRGraph.from_edgelist(erdos_renyi_gnm(10, 20, seed=0))
+    index = build_index(g, "afforest").index
+    assert QueryDispatcher(QueryEngine(index)).run([]) == []
+
+
+def test_dispatch_emits_serve_batch_span():
+    g = CSRGraph.from_edgelist(erdos_renyi_gnm(20, 90, seed=1))
+    index = build_index(g, "afforest").index
+    ctx = ExecutionContext()
+    engine = QueryEngine(index, ctx=ctx)
+    QueryDispatcher(engine).run([(0, 3), (1, 3)])
+    names = [sp.name for sp, _ in ctx.tracer.walk()]
+    assert "ServeBatch" in names
+    assert "PrecomputeComponents" in names

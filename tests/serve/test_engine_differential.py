@@ -1,0 +1,179 @@
+"""Differential correctness: QueryEngine vs the BFS reference.
+
+Every fast path the serving layer adds — component lookups, the batch
+gather, the LRU cache, warmed materialization — must return communities
+*identical* (same k, same sorted edge ids, same count, same order) to
+``search_communities`` for every (vertex, k) pair, on every
+index-construction variant. The paper's Figure 3 example is pinned as
+an exact golden case.
+"""
+
+import numpy as np
+import pytest
+
+from repro.community import search_communities
+from repro.community.search import query_candidate_ks
+from repro.equitruss import VARIANTS, build_index
+from repro.errors import InvalidParameterError
+from repro.graph import CSRGraph
+from repro.graph.generators import (
+    PAPER_EXAMPLE_SUPERNODES,
+    barabasi_albert_graph,
+    erdos_renyi_gnm,
+    paper_example_graph,
+)
+from repro.serve import QueryEngine
+
+
+def assert_identical(expected, got, context=None):
+    """Same count, same ks, same sorted edge ids, same canonical order."""
+    assert len(expected) == len(got), (context, len(expected), len(got))
+    for exp, g in zip(expected, got):
+        assert exp.k == g.k, context
+        assert np.array_equal(exp.edge_ids, g.edge_ids), context
+
+
+def every_pair(index):
+    """All (vertex, k) pairs with k ranging over the vertex's candidate
+    trussness levels, plus one k above them (the must-be-empty probe)."""
+    for q in range(index.graph.num_vertices):
+        ks = [int(k) for k in query_candidate_ks(index, q).tolist()]
+        probe = max(ks, default=2) + 1
+        for k in ks + [probe]:
+            if k >= 3:
+                yield q, k
+
+
+@pytest.mark.parametrize("variant", list(VARIANTS))
+def test_er_graphs_all_pairs_all_variants(variant):
+    for seed in range(3):
+        g = CSRGraph.from_edgelist(erdos_renyi_gnm(32, 150, seed=seed))
+        index = build_index(g, variant).index
+        engine = QueryEngine(index)
+        for q, k in every_pair(index):
+            assert_identical(
+                search_communities(index, q, k),
+                engine.query(q, k),
+                (variant, seed, q, k),
+            )
+
+
+@pytest.mark.parametrize("variant", list(VARIANTS))
+def test_powerlaw_graphs_all_pairs_all_variants(variant):
+    g = CSRGraph.from_edgelist(barabasi_albert_graph(45, 5, seed=7))
+    index = build_index(g, variant).index
+    engine = QueryEngine(index)
+    for q, k in every_pair(index):
+        assert_identical(
+            search_communities(index, q, k),
+            engine.query(q, k),
+            (variant, q, k),
+        )
+
+
+def test_batch_equals_single_equals_bfs():
+    g = CSRGraph.from_edgelist(erdos_renyi_gnm(40, 200, seed=11))
+    index = build_index(g, "afforest").index
+    engine = QueryEngine(index, cache_size=0)  # uncached path
+    vertices = np.arange(g.num_vertices)
+    for k in (3, 4, 5, 6):
+        batch = engine.query_many(vertices, k)
+        assert len(batch) == g.num_vertices
+        for q in range(g.num_vertices):
+            expected = search_communities(index, q, k)
+            assert_identical(expected, batch[q], (k, q, "batch"))
+            assert_identical(expected, engine.query(q, k), (k, q, "single"))
+
+
+def test_cached_equals_uncached():
+    g = CSRGraph.from_edgelist(erdos_renyi_gnm(30, 160, seed=2))
+    index = build_index(g, "coptimal").index
+    engine = QueryEngine(index, cache_size=64)
+    for q, k in every_pair(index):
+        first = engine.query(q, k)
+        hits_before = engine.cache.hits
+        second = engine.query(q, k)
+        assert engine.cache.hits == hits_before + 1
+        assert second is first  # the cached list itself is served
+        assert_identical(search_communities(index, q, k), second, (q, k))
+
+
+def test_warm_then_query_identical():
+    g = CSRGraph.from_edgelist(erdos_renyi_gnm(35, 180, seed=5))
+    index = build_index(g, "afforest").index
+    engine = QueryEngine(index)
+    warmed = engine.warm()
+    assert warmed == len(engine._materialized)
+    for q, k in every_pair(index):
+        assert_identical(search_communities(index, q, k), engine.query(q, k), (q, k))
+    # warming found every community: queries materialized nothing new
+    assert len(engine._materialized) == warmed
+
+
+def test_validation_matches_bfs_engine():
+    g = CSRGraph.from_edgelist(erdos_renyi_gnm(20, 80, seed=0))
+    index = build_index(g, "afforest").index
+    engine = QueryEngine(index)
+    with pytest.raises(InvalidParameterError):
+        engine.query(0, 2)
+    with pytest.raises(InvalidParameterError):
+        engine.query(99, 3)
+    with pytest.raises(InvalidParameterError):
+        engine.query_many([0, 1], 2)
+    with pytest.raises(InvalidParameterError):
+        engine.query_many([0, 99], 3)
+    assert engine.query_many([], 3) == []
+
+
+def test_k_above_kmax_and_triangle_free():
+    g = CSRGraph.from_edgelist(erdos_renyi_gnm(30, 15, seed=1))  # sparse
+    index = build_index(g, "afforest").index
+    engine = QueryEngine(index)
+    assert engine.query(0, 3) == []
+    assert engine.query_many(np.arange(30), 4) == [[] for _ in range(30)]
+
+
+# ----------------------------------------------------------------------
+# The paper's Figure 3 example as an exact golden case
+# ----------------------------------------------------------------------
+
+@pytest.fixture(scope="module")
+def fig3():
+    g = CSRGraph.from_edgelist(paper_example_graph())
+    index = build_index(g, "afforest").index
+    return g, index, QueryEngine(index)
+
+
+def test_fig3_golden_vertex6_k5_is_the_k5_clique(fig3):
+    g, index, engine = fig3
+    (c,) = engine.query(6, 5)
+    _, k5_edges = PAPER_EXAMPLE_SUPERNODES["nu4"]  # the τ=5 supernode (the K5)
+    assert c.k == 5 and c.num_edges == 10
+    assert c.vertices().tolist() == [6, 7, 8, 9, 10]
+    assert c.edge_tuples() == k5_edges
+
+
+def test_fig3_golden_vertex5_k4_spans_nu3_and_nu4(fig3):
+    g, index, engine = fig3
+    (c,) = engine.query(5, 4)
+    expected = PAPER_EXAMPLE_SUPERNODES["nu3"][1] | PAPER_EXAMPLE_SUPERNODES["nu4"][1]
+    assert c.edge_tuples() == expected
+
+
+def test_fig3_golden_no_community_above_kmax(fig3):
+    g, index, engine = fig3
+    assert engine.query(0, 5) == []
+    assert engine.query(6, 6) == []
+
+
+@pytest.mark.parametrize("variant", list(VARIANTS))
+def test_fig3_all_vertices_all_ks_all_variants(variant):
+    g = CSRGraph.from_edgelist(paper_example_graph())
+    index = build_index(g, variant).index
+    engine = QueryEngine(index)
+    for k in (3, 4, 5):
+        batch = engine.query_many(np.arange(g.num_vertices), k)
+        for q in range(g.num_vertices):
+            expected = search_communities(index, q, k)
+            assert_identical(expected, engine.query(q, k), (variant, q, k))
+            assert_identical(expected, batch[q], (variant, q, k, "batch"))

@@ -140,3 +140,109 @@ def test_query_specific_k(tmp_path, capsys):
     assert main(["query", str(index_path), "--vertex", "0", "--k", "3"]) == 0
     out = capsys.readouterr().out
     assert "k=3" in out or "no community" in out
+
+
+@pytest.fixture()
+def indexed_graph(tmp_path):
+    graph_path = tmp_path / "g.npz"
+    index_path = tmp_path / "g.index.npz"
+    main(["generate", "gnm", "--n", "60", "--m", "280", "--seed", "4",
+          "--out", str(graph_path)])
+    main(["index", str(graph_path), "--out", str(index_path)])
+    return index_path
+
+
+def test_query_components_engine_single_vertex(indexed_graph, capsys):
+    capsys.readouterr()
+    assert main(["query", str(indexed_graph), "--vertex", "0", "--k", "3",
+                 "--engine", "components"]) == 0
+    out = capsys.readouterr().out
+    assert "cache: 0 hits / 1 misses" in out
+
+
+def test_query_engines_agree(indexed_graph, capsys):
+    capsys.readouterr()
+    assert main(["query", str(indexed_graph), "--vertex", "0", "--k", "3",
+                 "--engine", "bfs"]) == 0
+    bfs_out = capsys.readouterr().out
+    assert main(["query", str(indexed_graph), "--vertex", "0", "--k", "3",
+                 "--engine", "components"]) == 0
+    comp_out = capsys.readouterr().out
+    bfs_lines = [ln for ln in bfs_out.splitlines() if ln.startswith("[")]
+    comp_lines = [ln for ln in comp_out.splitlines() if ln.startswith("[")]
+    assert bfs_lines == comp_lines
+
+
+@pytest.mark.parametrize("engine", ["bfs", "components"])
+def test_query_batch_file(indexed_graph, tmp_path, capsys, engine):
+    batch = tmp_path / "batch.txt"
+    batch.write_text("0\n5 3\n12 4\n# comment\n\n7\n")
+    capsys.readouterr()
+    assert main(["query", str(indexed_graph), "--batch-file", str(batch),
+                 "--k", "3", "--engine", engine]) == 0
+    out = capsys.readouterr().out
+    assert "vertex 5 k=3:" in out
+    assert "vertex 12 k=4:" in out
+    assert "served 4 queries" in out and f"engine={engine}" in out
+
+
+def test_query_batch_results_identical_across_engines(indexed_graph, tmp_path, capsys):
+    batch = tmp_path / "batch.txt"
+    batch.write_text("".join(f"{v}\n" for v in range(0, 60, 3)))
+    outputs = {}
+    for engine in ("bfs", "components"):
+        capsys.readouterr()
+        assert main(["query", str(indexed_graph), "--batch-file", str(batch),
+                     "--k", "3", "--engine", engine]) == 0
+        outputs[engine] = [
+            ln for ln in capsys.readouterr().out.splitlines()
+            if ln.startswith("vertex ")
+        ]
+    assert outputs["bfs"] == outputs["components"]
+
+
+def test_query_warm_cache_and_trace_out(indexed_graph, tmp_path, capsys):
+    from repro.obs.export import read_trace_jsonl
+
+    trace = tmp_path / "trace.jsonl"
+    capsys.readouterr()
+    assert main(["query", str(indexed_graph), "--vertex", "0", "--k", "3",
+                 "--engine", "components", "--warm-cache",
+                 "--trace-out", str(trace)]) == 0
+    out = capsys.readouterr().out
+    assert "warmed" in out
+    names = {rec["name"] for rec in read_trace_jsonl(trace)}
+    assert "Query" in names
+    assert "PrecomputeComponents" in names
+
+
+def test_query_bfs_trace_has_query_spans(indexed_graph, tmp_path, capsys):
+    from repro.obs.export import read_trace_jsonl
+
+    trace = tmp_path / "trace.jsonl"
+    assert main(["query", str(indexed_graph), "--vertex", "0", "--k", "3",
+                 "--engine", "bfs", "--trace-out", str(trace)]) == 0
+    capsys.readouterr()
+    assert "Query" in {rec["name"] for rec in read_trace_jsonl(trace)}
+
+
+def test_query_flag_validation(indexed_graph, tmp_path, capsys):
+    # components engine rejects --max-k / --top-r
+    assert main(["query", str(indexed_graph), "--vertex", "0", "--max-k",
+                 "--engine", "components"]) == 2
+    # --batch-file and --vertex are exclusive
+    batch = tmp_path / "b.txt"
+    batch.write_text("0\n")
+    assert main(["query", str(indexed_graph), "--vertex", "0",
+                 "--batch-file", str(batch)]) == 2
+    # neither --vertex nor --batch-file
+    assert main(["query", str(indexed_graph), "--k", "3"]) == 2
+    # batch line without k and no --k default
+    bad = tmp_path / "bad.txt"
+    bad.write_text("0\n")
+    assert main(["query", str(indexed_graph), "--batch-file", str(bad)]) == 2
+    # malformed batch line
+    bad.write_text("0 3 9\n")
+    assert main(["query", str(indexed_graph), "--batch-file", str(bad),
+                 "--k", "3"]) == 2
+    capsys.readouterr()

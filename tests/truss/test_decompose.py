@@ -148,3 +148,37 @@ def test_property_vectorized_equals_brute_force(n, data):
     d = truss_decomposition(g)
     assert np.array_equal(d.trussness, trussness_brute_force(g))
     assert np.array_equal(d.trussness, truss_decomposition_serial(g).trussness)
+
+
+def test_level_skip_jumps_over_trussness_gaps():
+    """A K12 (τ=12) next to a triangle (τ=3) leaves levels 4..11 empty;
+    the peeler must jump straight across the gap instead of scanning
+    each empty level, with identical trussness."""
+    from repro.graph import build_edgelist
+
+    k12 = complete_graph(12)
+    u = np.concatenate([k12.u, np.array([12, 12, 13])])
+    v = np.concatenate([k12.v, np.array([13, 14, 14])])
+    g = graph_of(build_edgelist(u, v, num_vertices=15))
+    d = truss_decomposition(g)
+    assert np.array_equal(d.trussness, truss_decomposition_serial(g).trussness)
+    assert d.kmax == 12
+    # one-per-level scanning would cost at least kmax - 2 = 10 scans;
+    # skipping pays ~2 per populated level (one empty probe, one peel)
+    assert d.level_scans < d.kmax - 2
+    assert d.level_scans <= 5
+
+
+def test_level_skip_counts_on_dense_levels():
+    # no gaps: level skipping must not change behavior on contiguous levels
+    edges, _ = planted_community_graph(3, 6, 8, p_intra=0.9, overlap=1, seed=5)
+    g = graph_of(edges)
+    d = truss_decomposition(g)
+    assert np.array_equal(d.trussness, truss_decomposition_serial(g).trussness)
+    assert d.level_scans >= d.k_classes().size
+
+
+def test_level_scans_default_zero_for_serial():
+    g = graph_of(complete_graph(5))
+    assert truss_decomposition_serial(g).level_scans == 0
+    assert truss_decomposition(g).level_scans > 0
