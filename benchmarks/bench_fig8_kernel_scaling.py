@@ -4,9 +4,18 @@ The paper shows the SpNode bar dominating at one thread and shrinking
 into parity with SpEdge/SmGraph by 128 threads, for all three variants
 on Orkut and LiveJournal. Modeled per-kernel times from the
 instrumented runs.
+
+``run_fig8_backends`` measures the *real* per-kernel seconds of the
+index-construction phase under each execution backend (prerequisites
+cached, so the rows isolate Init/SpNode/SpEdge/SmGraph/SpNodeRemap) and
+records them in the ``BENCH_pr4.json`` snapshot alongside the fig6
+end-to-end sweep.
 """
 
-from repro.bench import ResultWriter, TextTable, get_workload, run_variant
+import os
+import time
+
+from repro.bench import PerfSnapshot, ResultWriter, TextTable, get_workload, run_variant
 from repro.bench.paper import FIG8_SPNODE_SCALING
 from repro.equitruss.kernels import SM_GRAPH, SP_EDGE, SP_NODE
 from repro.parallel import SimulatedMachine
@@ -15,6 +24,8 @@ NETWORKS = ["orkut", "livejournal"]
 VARIANTS = ["baseline", "coptimal", "afforest"]
 THREADS = (1, 8, 32, 128)
 SHOWN = (SP_NODE, SP_EDGE, SM_GRAPH)
+
+SWEEP_BACKENDS = (("serial", 1), ("process", 4))
 
 
 def run_fig8():
@@ -41,6 +52,57 @@ def run_fig8():
         writer.add(table)
     writer.write()
     return out
+
+
+def run_fig8_backends():
+    from repro.equitruss.pipeline import build_index
+    from repro.parallel.context import ExecutionContext
+
+    name = "orkut"
+    w = get_workload(name)
+    writer = ResultWriter("fig8_backend_kernels")
+    snap = PerfSnapshot("pr4")
+    out = {}
+    for variant in ("coptimal", "afforest"):
+        table = TextTable(
+            ["backend", "workers", "seconds", *SHOWN],
+            title=f"Measured index-construction kernels ({name}, {variant}), "
+            f"cpu_count={os.cpu_count()}",
+        )
+        baseline_index = None
+        for backend, workers in SWEEP_BACKENDS:
+            with ExecutionContext(backend=backend, num_workers=workers) as ctx:
+                t0 = time.perf_counter()
+                res = build_index(
+                    w.graph, variant, decomp=w.decomp, triangles=w.triangles,
+                    ctx=ctx, num_workers=workers,
+                )
+                elapsed = time.perf_counter() - t0
+            if baseline_index is None:
+                baseline_index = res.index
+                same = True
+            else:
+                same = res.index == baseline_index
+            kernels = res.breakdown.seconds
+            table.add_row(
+                backend, workers, elapsed, *[kernels.get(k, 0.0) for k in SHOWN]
+            )
+            snap.add_run(
+                "fig8_backend_kernels", name, variant, backend, workers, elapsed,
+                mode="measured", kernels=kernels, identical_to_serial=bool(same),
+            )
+            out[(variant, backend)] = (same, elapsed)
+        writer.add(table)
+    snap.write()
+    writer.write()
+    return out
+
+
+def test_fig8_backend_kernels(benchmark, run_once):
+    out = run_once(benchmark, run_fig8_backends)
+    for (variant, backend), (same, elapsed) in out.items():
+        assert same, (variant, backend)
+        assert elapsed > 0
 
 
 def test_fig8_kernel_scaling(benchmark, run_once):

@@ -1,0 +1,75 @@
+"""CI benchmark smoke: process backend on a tiny graph, snapshot check.
+
+Builds the EquiTruss index on a small synthetic graph with the serial
+backend and with ``--backend process --workers 2`` (forcing fan-out by
+zeroing the min-items gate, so the worker pool really runs even though
+the graph is tiny), asserts the indexes are bit-identical, records both
+runs in ``BENCH_pr4.json``, and validates the snapshot schema. Exits
+nonzero on any failure — wired into CI as the ``bench-smoke`` job.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/smoke_process_backend.py [--out PATH]
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--out", default=None,
+                        help="snapshot path (default benchmarks/results/BENCH_pr4.json)")
+    parser.add_argument("--workers", type=int, default=2)
+    args = parser.parse_args(argv)
+
+    from repro.bench.snapshot import PerfSnapshot, load_snapshot
+    from repro.equitruss.pipeline import build_index
+    from repro.graph.csr import CSRGraph
+    from repro.graph.generators import erdos_renyi_gnm
+    from repro.parallel.context import ExecutionContext
+    from repro.parallel.shm import ProcessBackend, process_backend_available
+
+    graph = CSRGraph.from_edgelist(erdos_renyi_gnm(500, 5000, seed=42))
+    print(f"smoke graph: {graph.num_vertices} vertices / {graph.num_edges} edges")
+
+    with ExecutionContext(backend="serial") as ctx:
+        t0 = time.perf_counter()
+        serial = build_index(graph, "afforest", ctx=ctx)
+        t_serial = time.perf_counter() - t0
+
+    if not process_backend_available():
+        # the smoke job runs on Linux where fork + /dev/shm exist; a
+        # missing backend there is a regression, not an environment quirk
+        print("FAIL: process backend unavailable", file=sys.stderr)
+        return 1
+
+    backend = ProcessBackend(num_workers=args.workers, min_items=0)
+    with ExecutionContext(backend=backend, num_workers=args.workers) as ctx:
+        t0 = time.perf_counter()
+        process = build_index(graph, "afforest", ctx=ctx)
+        t_process = time.perf_counter() - t0
+
+    if not (serial.index == process.index):
+        print("FAIL: process-backend index differs from serial", file=sys.stderr)
+        return 1
+    print(f"indexes bit-identical; serial {t_serial:.3f}s, "
+          f"process[{args.workers}] {t_process:.3f}s")
+
+    snap = PerfSnapshot("pr4", path=args.out)
+    snap.add_run("ci_smoke", "gnm_500_5000", "afforest", "serial", 1,
+                 t_serial, mode="measured")
+    snap.add_run("ci_smoke", "gnm_500_5000", "afforest", "process", args.workers,
+                 t_process, mode="measured", identical_to_serial=True)
+    path = snap.write()
+
+    load_snapshot(path)  # schema validation round trip
+    print(f"snapshot OK -> {path}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

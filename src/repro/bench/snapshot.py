@@ -1,0 +1,198 @@
+"""Machine-readable perf snapshots (``BENCH_pr<N>.json``).
+
+The text reports under ``benchmarks/results/`` are for humans; this
+module writes the companion JSON snapshot future PRs diff against to
+track the performance trajectory. One snapshot file accumulates runs
+from several experiments (the fig6 backend sweep, the fig8 kernel
+sweep, the CI smoke job): each run is keyed by
+``(experiment, dataset, variant, backend, workers)`` and re-recording a
+key replaces the old entry, so re-running one bench never stales the
+others.
+
+The schema is deliberately small and validated by
+:func:`validate_snapshot` — the CI smoke job runs the validator against
+the artifact it uploads, so a drive-by field rename fails fast instead
+of silently breaking downstream tooling.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import platform
+import sys
+import time
+from pathlib import Path
+
+SNAPSHOT_SCHEMA_VERSION = 1
+
+#: Fields every run entry must carry (``kernels`` / ``notes`` optional).
+RUN_REQUIRED_FIELDS = {
+    "experiment": str,
+    "dataset": str,
+    "variant": str,
+    "backend": str,
+    "workers": int,
+    "mode": str,  # "measured" wall clock | "modeled" machine-model T(p)
+    "seconds": float,
+}
+
+RUN_MODES = ("measured", "modeled")
+
+
+def default_snapshot_path(name: str = "pr4") -> Path:
+    """``benchmarks/results/BENCH_<name>.json`` at the repo root."""
+    root = Path(__file__).resolve().parents[3]
+    return root / "benchmarks" / "results" / f"BENCH_{name}.json"
+
+
+def host_info() -> dict:
+    """The hardware/runtime context measured numbers depend on.
+
+    ``cpu_count`` matters most: measured speedups from a box with fewer
+    cores than workers are IPC-overhead measurements, not scaling
+    results, and consumers must be able to tell the difference.
+    """
+    return {
+        "cpu_count": os.cpu_count() or 1,
+        "platform": platform.platform(),
+        "python": sys.version.split()[0],
+    }
+
+
+class PerfSnapshot:
+    """Accumulating writer for one ``BENCH_*.json`` snapshot."""
+
+    def __init__(self, name: str = "pr4", path: str | Path | None = None) -> None:
+        self.name = name
+        self.path = Path(path) if path is not None else default_snapshot_path(name)
+        self.doc = {
+            "schema_version": SNAPSHOT_SCHEMA_VERSION,
+            "snapshot": name,
+            "host": host_info(),
+            "generated_unix": time.time(),
+            "runs": [],
+            "derived": {},
+        }
+        if self.path.exists():
+            try:
+                prior = json.loads(self.path.read_text(encoding="utf-8"))
+                validate_snapshot(prior)
+                self.doc["runs"] = prior.get("runs", [])
+                self.doc["derived"] = prior.get("derived", {})
+            except (ValueError, OSError):
+                pass  # unreadable/invalid prior snapshot: start fresh
+
+    @staticmethod
+    def _key(run: dict) -> tuple:
+        return (
+            run["experiment"], run["dataset"], run["variant"],
+            run["backend"], run["workers"],
+        )
+
+    def add_run(
+        self,
+        experiment: str,
+        dataset: str,
+        variant: str,
+        backend: str,
+        workers: int,
+        seconds: float,
+        mode: str = "measured",
+        kernels: dict | None = None,
+        **notes,
+    ) -> dict:
+        """Record one run, replacing any prior entry with the same key."""
+        if mode not in RUN_MODES:
+            raise ValueError(f"mode must be one of {RUN_MODES}, got {mode!r}")
+        run = {
+            "experiment": experiment,
+            "dataset": dataset,
+            "variant": variant,
+            "backend": backend,
+            "workers": int(workers),
+            "mode": mode,
+            "seconds": float(seconds),
+        }
+        if kernels:
+            run["kernels"] = {k: float(v) for k, v in kernels.items()}
+        if notes:
+            run["notes"] = notes
+        key = self._key(run)
+        self.doc["runs"] = [r for r in self.doc["runs"] if self._key(r) != key]
+        self.doc["runs"].append(run)
+        return run
+
+    def derive(self, name: str, value) -> None:
+        """Record a derived scalar (speedups, identity checks, ...)."""
+        self.doc["derived"][name] = value
+
+    def speedup(
+        self, experiment: str, dataset: str, variant: str,
+        base_backend: str = "serial", backend: str = "process",
+    ) -> float | None:
+        """Measured ``base/new`` wall-clock ratio between two backends."""
+        times = {}
+        for run in self.doc["runs"]:
+            if (
+                run["experiment"] == experiment
+                and run["dataset"] == dataset
+                and run["variant"] == variant
+                and run["mode"] == "measured"
+            ):
+                times[run["backend"]] = run["seconds"]
+        if base_backend in times and backend in times and times[backend] > 0:
+            return times[base_backend] / times[backend]
+        return None
+
+    def write(self) -> Path:
+        validate_snapshot(self.doc)
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        self.path.write_text(
+            json.dumps(self.doc, indent=2, sort_keys=True) + "\n", encoding="utf-8"
+        )
+        return self.path
+
+
+def validate_snapshot(doc: dict) -> None:
+    """Raise ``ValueError`` unless ``doc`` is a well-formed snapshot."""
+    if not isinstance(doc, dict):
+        raise ValueError("snapshot must be a JSON object")
+    if doc.get("schema_version") != SNAPSHOT_SCHEMA_VERSION:
+        raise ValueError(
+            f"schema_version must be {SNAPSHOT_SCHEMA_VERSION}, "
+            f"got {doc.get('schema_version')!r}"
+        )
+    for field, typ in (("snapshot", str), ("host", dict), ("runs", list),
+                       ("derived", dict)):
+        if not isinstance(doc.get(field), typ):
+            raise ValueError(f"snapshot field {field!r} must be {typ.__name__}")
+    host = doc["host"]
+    if not isinstance(host.get("cpu_count"), int) or host["cpu_count"] < 1:
+        raise ValueError("host.cpu_count must be a positive integer")
+    for i, run in enumerate(doc["runs"]):
+        if not isinstance(run, dict):
+            raise ValueError(f"runs[{i}] must be an object")
+        for field, typ in RUN_REQUIRED_FIELDS.items():
+            value = run.get(field)
+            if typ is float:
+                ok = isinstance(value, (int, float)) and not isinstance(value, bool)
+            else:
+                ok = isinstance(value, typ) and not isinstance(value, bool)
+            if not ok:
+                raise ValueError(
+                    f"runs[{i}].{field} must be {typ.__name__}, got {value!r}"
+                )
+        if run["mode"] not in RUN_MODES:
+            raise ValueError(f"runs[{i}].mode must be one of {RUN_MODES}")
+        if run["seconds"] < 0:
+            raise ValueError(f"runs[{i}].seconds must be >= 0")
+        if "kernels" in run and not isinstance(run["kernels"], dict):
+            raise ValueError(f"runs[{i}].kernels must be an object")
+
+
+def load_snapshot(path: str | Path) -> dict:
+    """Read and validate a snapshot file."""
+    doc = json.loads(Path(path).read_text(encoding="utf-8"))
+    validate_snapshot(doc)
+    return doc

@@ -52,11 +52,27 @@ def _cmd_generate(args: argparse.Namespace) -> int:
 
 
 def _make_context(args: argparse.Namespace):
-    """ExecutionContext from the shared --backend/--workers/--dtype flags."""
+    """ExecutionContext from the shared --backend/--workers/--dtype flags.
+
+    ``--backend process`` degrades to the thread backend (with a warning
+    on stderr) where ``fork`` or POSIX shared memory is unavailable, so
+    scripted invocations keep working across platforms.
+    """
     from repro.parallel.context import ExecutionContext
 
+    backend = getattr(args, "backend", "serial")
+    if backend == "process":
+        from repro.parallel.shm import process_backend_available
+
+        if not process_backend_available():
+            print(
+                "warning: process backend unavailable on this platform "
+                "(no fork or POSIX shared memory); using thread backend",
+                file=sys.stderr,
+            )
+            backend = "thread"
     return ExecutionContext(
-        backend=getattr(args, "backend", "serial"),
+        backend=backend,
         num_workers=getattr(args, "workers", 1) or 1,
         dtype=getattr(args, "dtype", "auto"),
     )
@@ -110,6 +126,7 @@ def _cmd_index(args: argparse.Namespace) -> int:
         path = write_metrics_json(registry, args.metrics_out)
         print(f"wrote metrics ({len(registry.names())} names) -> {path}")
         log.info(kv("metrics_out", path=str(path), names=len(registry.names())))
+    ctx.close()  # release worker processes / shared segments promptly
     return 0
 
 
@@ -227,6 +244,7 @@ def _cmd_query(args: argparse.Namespace) -> int:
 
         path = write_trace_jsonl(ctx.tracer, args.trace_out)
         print(f"wrote trace -> {path}")
+    ctx.close()
     return 0
 
 
@@ -312,8 +330,10 @@ def build_parser() -> argparse.ArgumentParser:
 
     def add_context_flags(p: argparse.ArgumentParser) -> None:
         """The shared ExecutionContext flags (--backend/--workers/--dtype)."""
-        p.add_argument("--backend", default="serial", choices=["serial", "thread"],
-                       help="execution backend for the kernels")
+        p.add_argument("--backend", default="serial",
+                       choices=["serial", "thread", "process"],
+                       help="execution backend for the kernels (process = "
+                            "persistent fork workers over shared memory)")
         p.add_argument("--workers", type=int, default=1,
                        help="worker count for the chosen backend")
         p.add_argument("--dtype", default="auto", choices=["auto", "int32", "int64"],

@@ -27,6 +27,25 @@ from repro.parallel.partition import block_ranges
 from repro.utils.validation import check_positive
 
 
+def _w_superedge_chunk(comp_h, lo_h, hi_h, lo: int, hi: int, span: int):
+    """Process-pool worker: one worker's deduplicated root-pair chunk.
+
+    ``span`` is the coordinator-chosen key stride (``comp.size``, an
+    upper bound on every root id). The encode/decode round trip is
+    span-invariant for any span greater than the largest root, so the
+    decoded pairs match the serial path bit for bit even though the
+    serial path uses the data-dependent ``max + 1``.
+    """
+    from repro.parallel.shm import attach, export_array
+
+    comp = attach(comp_h)
+    a = comp[attach(lo_h)[lo:hi]]
+    b = comp[attach(hi_h)[lo:hi]]
+    keys = np.minimum(a, b).astype(np.int64) * span + np.maximum(a, b)
+    local = np.unique(keys)  # the thread-local set
+    return export_array(np.stack([local // span, local % span], axis=1))
+
+
 def generate_superedges(
     comp: np.ndarray,
     se_lo: np.ndarray,
@@ -51,6 +70,31 @@ def generate_superedges(
     ctx.add_round(max(int(se_lo.size), 1))
     if se_lo.size == 0:
         return worker_subsets
+
+    from repro.parallel.shm import active_process_backend, import_array
+
+    backend = active_process_backend(ctx, se_lo.size)
+    if backend is not None:
+        pool = backend.pool
+        comp_h = pool.share("se.comp", comp)[1]
+        cand_lo_h = pool.share("se.cand_lo", se_lo)[1]
+        cand_hi_h = pool.share("se.cand_hi", se_hi)[1]
+        span = comp.size  # span-invariant stride, > every root id
+        tids, tasks = [], []
+        for tid, (lo, hi) in enumerate(block_ranges(se_lo.size, num_workers)):
+            if hi > lo:
+                tids.append(tid)
+                tasks.append((comp_h, cand_lo_h, cand_hi_h, lo, hi, span))
+        handles = backend.map_tasks(
+            _w_superedge_chunk,
+            tasks,
+            ctx=ctx,
+            work=[t[4] - t[3] for t in tasks],
+        )
+        for tid, h in zip(tids, handles):
+            worker_subsets[tid].append(import_array(h))
+        return worker_subsets
+
     ws = ctx.workspace
     a = ws.gather("se.a", comp, se_lo)
     b = ws.gather("se.b", comp, se_hi)

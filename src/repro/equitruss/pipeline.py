@@ -111,6 +111,9 @@ def _publish_mem_gauges(
         "repro.mem.comp_bytes": int(comp.nbytes),
         "repro.mem.workspace_high_water": ctx.workspace.high_water,
     }
+    shared_pool = ctx.shared_pool
+    if shared_pool is not None:
+        mem["repro.mem.shared_pool_high_water"] = shared_pool.high_water
     for name, value in mem.items():
         metrics.set_gauge(name, value)
     return mem

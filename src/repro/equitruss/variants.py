@@ -41,47 +41,49 @@ from repro.parallel.context import ExecutionContext
 # Baseline
 # ----------------------------------------------------------------------
 
-def recompute_level_tables(
-    graph: CSRGraph,
+def _cat(parts: list[np.ndarray]) -> np.ndarray:
+    return np.concatenate(parts) if parts else np.empty(0, dtype=np.int64)
+
+
+def _level_tables_range(
+    indptr: np.ndarray,
+    indices: np.ndarray,
+    slot_eids: np.ndarray,
+    slot_keys: np.ndarray,
+    deg: np.ndarray,
+    eu: np.ndarray,
+    ev: np.ndarray,
     trussness: np.ndarray,
+    phi: np.ndarray,
+    lo: int,
+    hi: int,
     k: int,
-    batch_edges: int = 1 << 16,
-    ctx: ExecutionContext | None = None,
-) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
-    """Algorithm 2/3 per-level triangle recomputation.
+    n: int,
+    batch_edges: int,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray, list[int]]:
+    """Recompute level-``k`` tables for ``phi[lo:hi]``, batch by batch.
 
-    For every edge e(u, v) ∈ Φ_k, enumerate its triangles from the CSR
-    adjacency (expanding the smaller endpoint's neighbor list, resolving
-    the partner edges via keyed searches) and derive:
-
-    * hook pairs ``(e, e')`` where τ(e') = k and the third side has
-      τ ≥ k (k-triangle connectivity inside the maximal k-truss);
-    * superedge candidates ``(lo, hi=e)`` where lo is a partner at the
-      triangle minimum κ < k (Algorithm 3's downward rule).
-
-    Returns ``(hook_a, hook_b, se_lo, se_hi)``. Duplicated hook pairs
-    (a triangle seen from both its k-edges) are kept — SV is insensitive
-    and the paper's per-edge loop produces them too.
+    Pure-array core shared by the serial loop and the process-pool
+    workers — it replicates ``graph.locate_slots`` via a ``searchsorted``
+    over the precomputed slot keys so only flat arrays cross the process
+    boundary. Returns the concatenated parts plus the per-batch neighbor
+    totals (replayed into ``ctx.add_round`` by the caller).
     """
-    ctx = ExecutionContext.ensure(ctx)
-    phi = np.flatnonzero(trussness == k)
     hook_parts_a: list[np.ndarray] = []
     hook_parts_b: list[np.ndarray] = []
     se_parts_lo: list[np.ndarray] = []
     se_parts_hi: list[np.ndarray] = []
-    deg = graph.degrees()
-    indptr, indices, slot_eids = graph.indptr, graph.indices, graph.edge_ids
-    eu, ev = graph.edges.u, graph.edges.v
-
-    for lo_ix in range(0, phi.size, batch_edges):
-        eids = phi[lo_ix : lo_ix + batch_edges]
+    totals: list[int] = []
+    kd = slot_keys.dtype
+    for lo_ix in range(lo, hi, batch_edges):
+        eids = phi[lo_ix : min(lo_ix + batch_edges, hi)]
         u, v = eu[eids], ev[eids]
         swap = deg[u] > deg[v]
         x = np.where(swap, v, u)       # expand the smaller endpoint
         y = np.where(swap, u, v)
         counts = deg[x]
         total = int(counts.sum())
-        ctx.add_round(max(total, 1))
+        totals.append(total)
         if total == 0:
             continue
         cum = np.concatenate([np.zeros(1, np.int64), np.cumsum(counts)])
@@ -89,7 +91,16 @@ def recompute_level_tables(
         w_pos = np.repeat(indptr[x], counts) + local
         w = indices[w_pos]
         y_rep = np.repeat(y, counts)
-        slots = graph.locate_slots(y_rep, w)   # the "dictionary" probe
+        # the "dictionary" probe: graph.locate_slots on flat arrays
+        q = y_rep.astype(kd, copy=False) * kd.type(max(n, 1)) + w.astype(
+            kd, copy=False
+        )
+        pos = np.searchsorted(slot_keys, q)
+        pos_c = np.minimum(pos, max(slot_keys.size - 1, 0))
+        if slot_keys.size == 0:
+            slots = np.full(q.shape, -1, dtype=np.int64)
+        else:
+            slots = np.where(slot_keys[pos_c] == q, pos_c, -1)
         found = slots >= 0
         if not found.any():
             continue
@@ -111,11 +122,114 @@ def recompute_level_tables(
         s2 = below & (t2 == lowest)
         se_parts_lo.extend((e1[s1], e2[s2]))
         se_parts_hi.extend((e_rep[s1], e_rep[s2]))
+    return (
+        _cat(hook_parts_a),
+        _cat(hook_parts_b),
+        _cat(se_parts_lo),
+        _cat(se_parts_hi),
+        totals,
+    )
 
-    def cat(parts: list[np.ndarray]) -> np.ndarray:
-        return np.concatenate(parts) if parts else np.empty(0, dtype=np.int64)
 
-    return cat(hook_parts_a), cat(hook_parts_b), cat(se_parts_lo), cat(se_parts_hi)
+def _w_level_tables(
+    indptr_h, indices_h, eids_h, keys_h, deg_h, eu_h, ev_h, tau_h, phi_h,
+    lo: int, hi: int, k: int, n: int, batch_edges: int,
+):
+    """Process-pool worker: level tables for one batch-aligned phi range."""
+    from repro.parallel.shm import attach, export_array
+
+    ha, hb, sl, sh, totals = _level_tables_range(
+        attach(indptr_h), attach(indices_h), attach(eids_h), attach(keys_h),
+        attach(deg_h), attach(eu_h), attach(ev_h), attach(tau_h),
+        attach(phi_h), lo, hi, k, n, batch_edges,
+    )
+    return (
+        export_array(ha), export_array(hb), export_array(sl), export_array(sh),
+        totals,
+    )
+
+
+def recompute_level_tables(
+    graph: CSRGraph,
+    trussness: np.ndarray,
+    k: int,
+    batch_edges: int = 1 << 16,
+    ctx: ExecutionContext | None = None,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    """Algorithm 2/3 per-level triangle recomputation.
+
+    For every edge e(u, v) ∈ Φ_k, enumerate its triangles from the CSR
+    adjacency (expanding the smaller endpoint's neighbor list, resolving
+    the partner edges via keyed searches) and derive:
+
+    * hook pairs ``(e, e')`` where τ(e') = k and the third side has
+      τ ≥ k (k-triangle connectivity inside the maximal k-truss);
+    * superedge candidates ``(lo, hi=e)`` where lo is a partner at the
+      triangle minimum κ < k (Algorithm 3's downward rule).
+
+    Returns ``(hook_a, hook_b, se_lo, se_hi)``. Duplicated hook pairs
+    (a triangle seen from both its k-edges) are kept — SV is insensitive
+    and the paper's per-edge loop produces them too.
+
+    Under the process backend the Φ_k batches are split across workers
+    at ``batch_edges``-aligned boundaries, so concatenating the worker
+    parts in order reproduces the serial batch sequence exactly —
+    bit-identical tables.
+    """
+    from repro.parallel.shm import active_process_backend, import_array
+
+    ctx = ExecutionContext.ensure(ctx)
+    phi = np.flatnonzero(trussness == k)
+    deg = graph.degrees()
+    indptr, indices, slot_eids = graph.indptr, graph.indices, graph.edge_ids
+    eu, ev = graph.edges.u, graph.edges.v
+    n = graph.num_vertices
+
+    backend = active_process_backend(ctx, phi.size)
+    if backend is None:
+        ha, hb, sl, sh, totals = _level_tables_range(
+            indptr, indices, slot_eids, graph.slot_keys, deg, eu, ev,
+            trussness, phi, 0, phi.size, k, n, batch_edges,
+        )
+        for total in totals:
+            ctx.add_round(max(total, 1))
+        return ha, hb, sl, sh
+
+    from repro.parallel.partition import block_ranges
+
+    pool = backend.pool
+    handles = (
+        pool.share("lvl.indptr", indptr)[1],
+        pool.share("lvl.indices", indices)[1],
+        pool.share("lvl.eids", slot_eids)[1],
+        pool.share("lvl.keys", graph.slot_keys)[1],
+        pool.share("lvl.deg", deg)[1],
+        pool.share("lvl.eu", eu)[1],
+        pool.share("lvl.ev", ev)[1],
+        pool.share("lvl.tau", trussness)[1],
+        pool.share("lvl.phi", phi)[1],
+    )
+    num_batches = -(-phi.size // batch_edges)
+    ranges = [
+        (b_lo * batch_edges, min(b_hi * batch_edges, phi.size))
+        for b_lo, b_hi in block_ranges(num_batches, ctx.num_workers)
+        if b_hi > b_lo
+    ]
+    results = backend.map_tasks(
+        _w_level_tables,
+        [(*handles, lo, hi, k, n, batch_edges) for lo, hi in ranges],
+        ctx=ctx,
+        work=[hi - lo for lo, hi in ranges],
+    )
+    parts = [[], [], [], []]
+    for ha_h, hb_h, sl_h, sh_h, totals in results:
+        for dst, h in zip(parts, (ha_h, hb_h, sl_h, sh_h)):
+            dst.append(import_array(h))
+        for total in totals:
+            ctx.add_round(max(total, 1))
+    # drop empty worker parts: an idle worker's placeholder is int64 and
+    # would otherwise promote the concatenated dtype
+    return tuple(_cat([a for a in p if a.size]) for p in parts)
 
 
 def sv_rounds_noskip(

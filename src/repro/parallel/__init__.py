@@ -5,10 +5,14 @@ CPython (GIL, and a single core in this environment) cannot express that
 directly, so this package provides three coordinated pieces:
 
 * **Backends** (:mod:`repro.parallel.backends`) — a uniform
-  ``parallel_for`` over serial and real-thread execution. The thread
-  backend exists to demonstrate that the algorithms' benign races are in
-  fact benign (tests run the hooking kernels concurrently); it does not
-  speed anything up under the GIL.
+  ``parallel_for`` over serial, real-thread, and worker-process
+  execution. The thread backend exists to demonstrate that the
+  algorithms' benign races are in fact benign (tests run the hooking
+  kernels concurrently); it does not speed anything up under the GIL.
+  The **process backend** (:mod:`repro.parallel.shm`) escapes the GIL:
+  a persistent pool of forked workers operating on zero-copy
+  ``multiprocessing.shared_memory`` arrays, fed by kernels ported to
+  the partition → privatize → reduce shape of PKT.
 * **Instrumentation** (:mod:`repro.parallel.instrument`) — every
   algorithm kernel wraps its parallel regions in
   ``Instrumentation.region(...)`` spans recording measured seconds, the
@@ -25,6 +29,12 @@ from repro.parallel.backends import SerialBackend, ThreadBackend, get_backend, p
 from repro.parallel.context import DtypePolicy, ExecutionContext, Workspace
 from repro.parallel.instrument import Instrumentation, Region
 from repro.parallel.partition import block_ranges, cyclic_indices, guided_ranges
+from repro.parallel.shm import (
+    ProcessBackend,
+    SharedArrayPool,
+    SharedHandle,
+    process_backend_available,
+)
 from repro.parallel.simulate import MachineProfile, ScalingCurve, SimulatedMachine
 from repro.parallel.atomics import AtomicArray
 
@@ -33,6 +43,9 @@ __all__ = [
     "DtypePolicy",
     "ExecutionContext",
     "ExecutionPolicy",
+    "ProcessBackend",
+    "SharedArrayPool",
+    "SharedHandle",
     "Workspace",
     "Instrumentation",
     "MachineProfile",
@@ -46,4 +59,5 @@ __all__ = [
     "get_backend",
     "guided_ranges",
     "parallel_for",
+    "process_backend_available",
 ]

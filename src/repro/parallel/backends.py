@@ -1,9 +1,17 @@
-"""Execution backends: a uniform ``parallel_for`` over serial and threads.
+"""Execution backends: a uniform ``parallel_for`` over serial, threads,
+and processes.
 
 A *chunk function* receives ``(lo, hi, tid)`` — a contiguous index range
 and the id of the worker executing it — matching the shape of an OpenMP
 ``parallel for`` body. The serial backend runs one chunk; the thread
-backend runs one chunk per worker via a thread pool.
+backend runs one chunk per worker via a persistent thread pool; the
+process backend (:mod:`repro.parallel.shm`) runs closure chunks inline
+but fans the kernels ported to the privatize-and-reduce protocol out to
+a persistent pool of worker processes over shared-memory arrays.
+
+Backends that own OS resources (thread/process pools) expose
+``close()``; the owning :class:`~repro.parallel.context.ExecutionContext`
+releases them.
 """
 
 from __future__ import annotations
@@ -17,6 +25,9 @@ from repro.utils.validation import check_positive
 
 ChunkFn = Callable[[int, int, int], None]
 
+#: Names accepted by :func:`get_backend`.
+BACKEND_NAMES = ("serial", "thread", "process")
+
 
 class SerialBackend:
     """Executes the whole range as a single chunk on the calling thread."""
@@ -28,14 +39,33 @@ class SerialBackend:
 
 
 class ThreadBackend:
-    """Executes block-partitioned chunks on a thread pool.
+    """Executes block-partitioned chunks on a persistent thread pool.
 
     Under the CPython GIL this provides concurrency, not parallel
     speedup; it exists so tests can exercise the benign-race behavior of
     the hooking kernels with real thread interleavings.
+
+    The pool is created lazily on first use and reused across every
+    subsequent ``parallel_for`` invocation (it is only rebuilt when a
+    call asks for more workers than it holds); :meth:`close` — called by
+    the owning ``ExecutionContext`` — tears it down.
     """
 
     name = "thread"
+
+    def __init__(self) -> None:
+        self._pool: ThreadPoolExecutor | None = None
+        self._pool_workers = 0
+
+    def _ensure_pool(self, num_workers: int) -> ThreadPoolExecutor:
+        if self._pool is None or self._pool_workers < num_workers:
+            if self._pool is not None:
+                self._pool.shutdown(wait=True)
+            self._pool = ThreadPoolExecutor(
+                max_workers=num_workers, thread_name_prefix="repro-worker"
+            )
+            self._pool_workers = num_workers
+        return self._pool
 
     def run(self, n: int, chunk_fn: ChunkFn, num_workers: int = 2) -> None:
         check_positive("num_workers", num_workers)
@@ -43,13 +73,26 @@ class ThreadBackend:
             chunk_fn(0, n, 0)
             return
         ranges = block_ranges(n, num_workers)
-        with ThreadPoolExecutor(max_workers=num_workers) as pool:
-            futures = [
-                pool.submit(chunk_fn, lo, hi, tid)
-                for tid, (lo, hi) in enumerate(ranges)
-            ]
-            for fut in futures:
-                fut.result()  # propagate worker exceptions
+        pool = self._ensure_pool(num_workers)
+        futures = [
+            pool.submit(chunk_fn, lo, hi, tid)
+            for tid, (lo, hi) in enumerate(ranges)
+        ]
+        for fut in futures:
+            fut.result()  # propagate worker exceptions
+
+    def close(self) -> None:
+        """Shut the persistent pool down (it re-creates on next use)."""
+        if self._pool is not None:
+            self._pool.shutdown(wait=True)
+            self._pool = None
+            self._pool_workers = 0
+
+    def __del__(self) -> None:  # pragma: no cover - GC timing dependent
+        try:
+            self.close()
+        except Exception:
+            pass
 
 
 _BACKENDS = {
@@ -59,19 +102,32 @@ _BACKENDS = {
 
 
 def get_backend(name: str):
-    """Instantiate a backend by name (``serial`` or ``thread``)."""
+    """Instantiate a backend by name (``serial``, ``thread``, ``process``)."""
+    if name == "process":
+        # imported lazily: shm pulls in multiprocessing machinery that
+        # serial/thread users never need
+        from repro.parallel.shm import ProcessBackend
+
+        return ProcessBackend()
     try:
         return _BACKENDS[name]()
     except KeyError:
         raise BackendError(
-            f"unknown backend {name!r}; available: {sorted(_BACKENDS)}"
+            f"unknown backend {name!r}; available: {sorted(BACKEND_NAMES)}"
         ) from None
+
+
+def close_backend(backend) -> None:
+    """Release a backend's pools, if it owns any."""
+    close = getattr(backend, "close", None)
+    if close is not None:
+        close()
 
 
 def parallel_for(
     n: int,
     chunk_fn: ChunkFn,
-    backend: str | SerialBackend | ThreadBackend = "serial",
+    backend="serial",
     num_workers: int = 1,
 ) -> None:
     """Run ``chunk_fn`` over ``range(n)`` on the chosen backend."""

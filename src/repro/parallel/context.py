@@ -32,7 +32,12 @@ from typing import Iterator
 import numpy as np
 
 from repro.errors import InvalidParameterError
-from repro.parallel.backends import SerialBackend, ThreadBackend, get_backend
+from repro.parallel.backends import (
+    SerialBackend,
+    ThreadBackend,
+    close_backend,
+    get_backend,
+)
 from repro.parallel.instrument import Instrumentation, _RegionHandle
 from repro.utils.validation import check_positive
 
@@ -174,6 +179,12 @@ class ExecutionContext:
     Kernels report barrier-synchronized rounds with :meth:`add_round`,
     which targets the innermost open :meth:`region`; with no region open
     it is a no-op, so kernels never need ``handle=None`` plumbing.
+
+    The context *owns* its backend's OS resources: the thread backend's
+    persistent pool and the process backend's worker processes + shared
+    segments are released by :meth:`close` (or by using the context as a
+    context manager). Contexts whose backends never spin a pool up need
+    no explicit close.
     """
 
     backend: str | SerialBackend | ThreadBackend = "serial"
@@ -255,6 +266,32 @@ class ExecutionContext:
         if self._handles:
             self._handles[-1].add_round(work)
 
+    def annotate(self, **attrs) -> None:
+        """Attach attributes to the innermost open region (no-op outside)."""
+        if self._handles:
+            handle = self._handles[-1]
+            if hasattr(handle, "attrs"):
+                handle.attrs.update(attrs)
+
     @property
     def tracer(self):
         return self.trace.tracer
+
+    @property
+    def shared_pool(self):
+        """The backend's :class:`~repro.parallel.shm.SharedArrayPool`,
+        or ``None`` for backends without shared memory."""
+        return getattr(self.backend, "pool", None)
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        """Release the backend's pools (worker processes, threads, shm)."""
+        close_backend(self.backend)
+
+    def __enter__(self) -> "ExecutionContext":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()

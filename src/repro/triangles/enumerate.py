@@ -11,6 +11,14 @@ over the DAG's globally sorted (row·n + col) slot keys.
 
 Work is O(Σ_(u,v) d⁺(v)) — the standard arboricity-bounded cost. Batches
 cap peak memory for large graphs.
+
+Under the process backend the slot selections are block-partitioned
+across the persistent worker pool: the DAG arrays are shared once
+(zero-copy ``multiprocessing.shared_memory``), each worker expands its
+contiguous slot range with the same batched kernel and appends its
+triple buffers to shared memory, and the coordinator concatenates the
+per-worker parts *in worker order* — producing bit-identical output to
+the serial batch loop.
 """
 
 from __future__ import annotations
@@ -56,11 +64,22 @@ class TriangleSet:
         """``int64[T, 3]`` matrix of edge-id triples."""
         return np.stack([self.e_uv, self.e_uw, self.e_vw], axis=1)
 
-    def support(self) -> np.ndarray:
-        """Number of triangles per edge (Definition 2 of the paper)."""
-        sup = np.zeros(self.num_edges, dtype=np.int64)
+    def support(self, dtype=None) -> np.ndarray:
+        """Number of triangles per edge (Definition 2 of the paper).
+
+        ``dtype`` narrows the accumulator (int32 under the auto dtype
+        policy — halves the resident support array); the counts are
+        identical to the default int64 accumulation since per-edge
+        support is bounded by the edge count.
+        """
+        sup = np.zeros(self.num_edges, dtype=np.int64 if dtype is None else dtype)
         for arr in (self.e_uv, self.e_uw, self.e_vw):
-            sup += np.bincount(arr, minlength=self.num_edges)
+            np.add(
+                sup,
+                np.bincount(arr, minlength=self.num_edges),
+                out=sup,
+                casting="unsafe",
+            )
         return sup
 
     def canonical_sorted(self) -> np.ndarray:
@@ -97,6 +116,166 @@ def _degree_ordered_dag(graph: CSRGraph):
     return indptr, heads, eids, tails
 
 
+def _expand_selection(
+    indptr: np.ndarray,
+    heads: np.ndarray,
+    slot_eids: np.ndarray,
+    tails: np.ndarray,
+    outdeg: np.ndarray,
+    slot_keys: np.ndarray,
+    n: int,
+    slot_sel: np.ndarray,
+    from_head: bool,
+    batch_slots: int,
+) -> tuple[list[np.ndarray], list[np.ndarray], list[np.ndarray]]:
+    """Expand a slot selection into (uv, uw, vw) triple parts.
+
+    The shared batched kernel behind both the serial loop and the
+    process-backend workers. Output parts concatenate in slot-selection
+    order, so any contiguous partitioning of ``slot_sel`` reproduces the
+    full run's triple order exactly.
+    """
+    num_slots = heads.size
+    parts_uv: list[np.ndarray] = []
+    parts_uw: list[np.ndarray] = []
+    parts_vw: list[np.ndarray] = []
+    for lo in range(0, slot_sel.size, batch_slots):
+        slots = slot_sel[lo : lo + batch_slots]
+        b_heads = heads[slots]
+        b_tails = tails[slots]
+        expand = b_heads if from_head else b_tails
+        other = b_tails if from_head else b_heads
+        counts = outdeg[expand]
+        total = int(counts.sum())
+        if total == 0:
+            continue
+        # Grouped arange: for slot s, local offsets 0..counts[s]-1.
+        cum = np.concatenate([np.zeros(1, np.int64), np.cumsum(counts)])
+        local = np.arange(total, dtype=np.int64) - np.repeat(cum[:-1], counts)
+        w_pos = np.repeat(indptr[expand], counts) + local
+        w = heads[w_pos]
+        # Membership: is (other, w) a DAG edge?  One searchsorted.
+        q = np.repeat(other, counts) * np.int64(max(n, 1)) + w
+        pos = np.searchsorted(slot_keys, q)
+        pos_c = np.minimum(pos, max(num_slots - 1, 0))
+        found = slot_keys[pos_c] == q
+        if not np.any(found):
+            continue
+        slot_rep = np.repeat(slots, counts)[found]
+        e_pivot = slot_eids[slot_rep]           # edge (u, v)
+        e_from_expand = slot_eids[w_pos[found]]  # edge (expand, w)
+        e_from_other = slot_eids[pos_c[found]]   # edge (other, w)
+        parts_uv.append(e_pivot)
+        if from_head:
+            # expanded from v: (v, w) is the closing edge, (u, w) = other side
+            parts_uw.append(e_from_other)
+            parts_vw.append(e_from_expand)
+        else:
+            parts_uw.append(e_from_expand)
+            parts_vw.append(e_from_other)
+    return parts_uv, parts_uw, parts_vw
+
+
+def _cat(parts: list[np.ndarray]) -> np.ndarray:
+    return np.concatenate(parts) if parts else np.empty(0, dtype=np.int64)
+
+
+def _w_enumerate_chunk(
+    indptr_h,
+    heads_h,
+    eids_h,
+    tails_h,
+    outdeg_h,
+    keys_h,
+    sel_h,
+    lo: int,
+    hi: int,
+    from_head: bool,
+    batch_slots: int,
+    n: int,
+):
+    """Process-pool worker: expand slots ``sel[lo:hi]``, export triples."""
+    from repro.parallel.shm import attach, export_array
+
+    sel = attach(sel_h)[lo:hi]
+    parts = _expand_selection(
+        attach(indptr_h),
+        attach(heads_h),
+        attach(eids_h),
+        attach(tails_h),
+        attach(outdeg_h),
+        attach(keys_h),
+        n,
+        sel,
+        from_head,
+        batch_slots,
+    )
+    return tuple(export_array(_cat(p)) for p in parts)
+
+
+def _enumerate_process(
+    backend,
+    ctx,
+    indptr,
+    heads,
+    slot_eids,
+    tails,
+    outdeg,
+    slot_keys,
+    n,
+    selections,
+    batch_slots,
+):
+    """Partition → privatize → reduce enumeration across the worker pool.
+
+    Shares the DAG arrays once, fans each selection out as contiguous
+    chunks, imports the per-worker append buffers, and concatenates them
+    in worker order (bit-identical to the serial batch loop).
+    """
+    from repro.parallel.partition import block_ranges
+    from repro.parallel.shm import import_array
+
+    pool = backend.pool
+    handles = [
+        pool.share(kind, arr)[1]
+        for kind, arr in (
+            ("enum.indptr", indptr),
+            ("enum.heads", heads),
+            ("enum.eids", slot_eids),
+            ("enum.tails", tails),
+            ("enum.outdeg", outdeg),
+            ("enum.keys", slot_keys),
+        )
+    ]
+    parts_uv: list[np.ndarray] = []
+    parts_uw: list[np.ndarray] = []
+    parts_vw: list[np.ndarray] = []
+    num_workers = ctx.num_workers
+    for si, (sel, from_head) in enumerate(selections):
+        if sel.size == 0:
+            continue
+        _, sel_h = pool.share(f"enum.sel{si}", sel)
+        ranges = [
+            (lo, hi) for lo, hi in block_ranges(sel.size, num_workers) if hi > lo
+        ]
+        tasks = [
+            (*handles, sel_h, lo, hi, from_head, batch_slots, n)
+            for lo, hi in ranges
+        ]
+        results = backend.map_tasks(
+            _w_enumerate_chunk,
+            tasks,
+            ctx=ctx,
+            label="Worker",
+            work=[hi - lo for lo, hi in ranges],
+        )
+        for uv_h, uw_h, vw_h in results:
+            parts_uv.append(import_array(uv_h))
+            parts_uw.append(import_array(uw_h))
+            parts_vw.append(import_array(vw_h))
+    return parts_uv, parts_uw, parts_vw
+
+
 def enumerate_triangles(
     graph: CSRGraph, batch_slots: int = 1 << 18, ctx=None
 ) -> TriangleSet:
@@ -107,12 +286,18 @@ def enumerate_triangles(
     edge-id triples are stored in the dtype of ``ctx``'s policy (falling
     back to the graph's own index dtype) — they are the biggest derived
     arrays of the pipeline, so narrowing them matters most.
+
+    When ``ctx`` runs the process backend with multiple workers (and the
+    graph clears the backend's ``min_items`` floor), expansion fans out
+    across the persistent worker pool; the result is bit-identical to
+    the serial path.
     """
     check_positive("batch_slots", batch_slots)
     if ctx is not None:
         from repro.parallel.context import ExecutionContext
 
-        out_dtype = ExecutionContext.ensure(ctx).edge_dtype(graph.num_edges)
+        ctx = ExecutionContext.ensure(ctx)
+        out_dtype = ctx.edge_dtype(graph.num_edges)
     else:
         out_dtype = graph.index_dtype
     n = graph.num_vertices
@@ -121,61 +306,40 @@ def enumerate_triangles(
     outdeg = np.diff(indptr)
     slot_keys = tails * np.int64(max(n, 1)) + heads  # strictly increasing
 
-    parts_uv: list[np.ndarray] = []
-    parts_uw: list[np.ndarray] = []
-    parts_vw: list[np.ndarray] = []
-
     # For each DAG edge (u, v) we may expand either N⁺(v) (testing w
     # against N⁺(u)) or N⁺(u) (testing against N⁺(v)); both find the same
     # triangle. Expanding the smaller list bounds the wedge blow-up at
     # high-degree hubs.
     expand_head = outdeg[heads] <= outdeg[tails]
-
-    def process(slot_sel: np.ndarray, from_head: bool) -> None:
-        for lo in range(0, slot_sel.size, batch_slots):
-            slots = slot_sel[lo : lo + batch_slots]
-            b_heads = heads[slots]
-            b_tails = tails[slots]
-            expand = b_heads if from_head else b_tails
-            other = b_tails if from_head else b_heads
-            counts = outdeg[expand]
-            total = int(counts.sum())
-            if total == 0:
-                continue
-            # Grouped arange: for slot s, local offsets 0..counts[s]-1.
-            cum = np.concatenate([np.zeros(1, np.int64), np.cumsum(counts)])
-            local = np.arange(total, dtype=np.int64) - np.repeat(cum[:-1], counts)
-            w_pos = np.repeat(indptr[expand], counts) + local
-            w = heads[w_pos]
-            # Membership: is (other, w) a DAG edge?  One searchsorted.
-            q = np.repeat(other, counts) * np.int64(max(n, 1)) + w
-            pos = np.searchsorted(slot_keys, q)
-            pos_c = np.minimum(pos, max(num_slots - 1, 0))
-            found = slot_keys[pos_c] == q
-            if not np.any(found):
-                continue
-            slot_rep = np.repeat(slots, counts)[found]
-            e_pivot = slot_eids[slot_rep]           # edge (u, v)
-            e_from_expand = slot_eids[w_pos[found]]  # edge (expand, w)
-            e_from_other = slot_eids[pos_c[found]]   # edge (other, w)
-            parts_uv.append(e_pivot)
-            if from_head:
-                # expanded from v: (v, w) is the closing edge, (u, w) = other side
-                parts_uw.append(e_from_other)
-                parts_vw.append(e_from_expand)
-            else:
-                parts_uw.append(e_from_expand)
-                parts_vw.append(e_from_other)
-
     all_slots = np.arange(num_slots, dtype=np.int64)
-    process(all_slots[expand_head], from_head=True)
-    process(all_slots[~expand_head], from_head=False)
+    selections = [
+        (all_slots[expand_head], True),
+        (all_slots[~expand_head], False),
+    ]
 
-    if parts_uv:
-        e_uv = np.concatenate(parts_uv).astype(out_dtype, copy=False)
-        e_uw = np.concatenate(parts_uw).astype(out_dtype, copy=False)
-        e_vw = np.concatenate(parts_vw).astype(out_dtype, copy=False)
+    from repro.parallel.shm import active_process_backend
+
+    backend = active_process_backend(ctx, num_slots)
+    if backend is not None:
+        parts_uv, parts_uw, parts_vw = _enumerate_process(
+            backend, ctx, indptr, heads, slot_eids, tails, outdeg,
+            slot_keys, n, selections, batch_slots,
+        )
     else:
+        parts_uv, parts_uw, parts_vw = [], [], []
+        for sel, from_head in selections:
+            uv, uw, vw = _expand_selection(
+                indptr, heads, slot_eids, tails, outdeg, slot_keys,
+                n, sel, from_head, batch_slots,
+            )
+            parts_uv.extend(uv)
+            parts_uw.extend(uw)
+            parts_vw.extend(vw)
+
+    e_uv = _cat(parts_uv).astype(out_dtype, copy=False)
+    e_uw = _cat(parts_uw).astype(out_dtype, copy=False)
+    e_vw = _cat(parts_vw).astype(out_dtype, copy=False)
+    if e_uv.size == 0:
         e_uv = e_uw = e_vw = np.empty(0, dtype=out_dtype)
     result = TriangleSet(e_uv=e_uv, e_uw=e_uw, e_vw=e_vw, num_edges=graph.num_edges)
     metrics.inc("repro.triangles.enumerated", result.count)

@@ -11,6 +11,17 @@ when they are finally peeled).
 (each sub-round peels the whole frontier at once and cascades support
 decrements through dying triangles — the PKT structure); ``*_serial``
 is a pure-Python bucket-queue reference used for cross-validation.
+
+Under the process backend the two bandwidth-bound stages of every
+sub-round go through the partition → privatize → reduce shape: the
+support and liveness arrays live in shared memory for the whole
+decomposition, frontier scans fan contiguous edge ranges out to the
+persistent worker pool (each worker compacts its hits into a disjoint
+slice of a shared output buffer), and the support decrements accumulate
+per-worker ``bincount`` rows that the coordinator reduces with one sum —
+no cross-process atomics, bit-identical trussness. Small rounds fall
+back to the serial vectorized path automatically (the task round-trip
+would dominate), which keeps the level-synchronous schedule unchanged.
 """
 
 from __future__ import annotations
@@ -81,6 +92,107 @@ def k_truss_edge_mask(decomp: TrussDecomposition, k: int) -> np.ndarray:
     return decomp.trussness >= k
 
 
+#: Frontier scans fan out only when the edge array is at least this many
+#: times the backend's ``min_items`` — the scan is O(m) *every* round,
+#: so the task round-trip must be amortized over a large m.
+_SCAN_FANOUT_FACTOR = 8
+
+
+def _w_frontier_chunk(sup_h, alive_h, lo: int, hi: int, bound: int, out_h):
+    """Process-pool worker: compact frontier hits of one edge range.
+
+    Writes the absolute edge ids whose support dropped below ``bound``
+    into the worker's disjoint ``out[lo:lo+count]`` slice; returns the
+    count. Concatenating the slices in worker order reproduces the
+    serial ``flatnonzero`` exactly.
+    """
+    from repro.parallel.shm import attach
+
+    sup = attach(sup_h)
+    alive = attach(alive_h)
+    idx = np.flatnonzero(alive[lo:hi] & (sup[lo:hi] < bound))
+    out = attach(out_h)
+    out[lo : lo + idx.size] = idx + lo
+    return int(idx.size)
+
+
+def _w_decrement_partial(sides_h, lo: int, hi: int, m: int, out_h, row: int):
+    """Process-pool worker: privatized decrement counts for one range."""
+    from repro.parallel.shm import attach
+
+    sides = attach(sides_h)
+    out = attach(out_h)
+    np.copyto(out[row], np.bincount(sides[lo:hi], minlength=m))
+    return hi - lo
+
+
+class _SharedPeelState:
+    """Shared-memory mirror of the peeling state for the process backend.
+
+    Owns the shared ``sup``/``alive`` arrays (the coordinator mutates
+    them in place between rounds — workers only ever read during a
+    task, so there are no races) plus the scratch buffers the two
+    fan-out stages use.
+    """
+
+    def __init__(self, backend, ctx, sup: np.ndarray, alive: np.ndarray) -> None:
+        self.backend = backend
+        self.ctx = ctx
+        self.m = sup.size
+        pool = backend.pool
+        self.sup, self.sup_h = pool.share("peel.sup", sup)
+        self.alive, self.alive_h = pool.share("peel.alive", alive)
+        self.scan_enabled = self.m >= backend.min_items * _SCAN_FANOUT_FACTOR
+        if self.scan_enabled:
+            self.frontier, self.frontier_h = pool.take(
+                "peel.frontier", self.m, np.int64
+            )
+
+    def _ranges(self, n: int) -> list[tuple[int, int]]:
+        from repro.parallel.partition import block_ranges
+
+        return [
+            (lo, hi)
+            for lo, hi in block_ranges(n, self.ctx.num_workers)
+            if hi > lo
+        ]
+
+    def scan_frontier(self, bound: int) -> np.ndarray:
+        """``flatnonzero(alive & (sup < bound))`` via partitioned scans."""
+        if not self.scan_enabled:
+            return np.flatnonzero(self.alive & (self.sup < bound))
+        ranges = self._ranges(self.m)
+        if not ranges:
+            return np.empty(0, dtype=np.int64)
+        counts = self.backend.map_tasks(
+            _w_frontier_chunk,
+            [(self.sup_h, self.alive_h, lo, hi, bound, self.frontier_h) for lo, hi in ranges],
+            ctx=self.ctx,
+            work=[hi - lo for lo, hi in ranges],
+        )
+        out = self.frontier
+        return np.concatenate(
+            [out[lo : lo + c] for (lo, _), c in zip(ranges, counts)]
+        )
+
+    def decrement(self, sides: np.ndarray) -> None:
+        """``sup -= bincount(sides)`` via privatized partial rows."""
+        if sides.size < self.backend.min_items:
+            self.sup -= np.bincount(sides, minlength=self.m)
+            return
+        pool = self.backend.pool
+        _, sides_h = pool.share("peel.sides", sides)
+        ranges = self._ranges(sides.size)
+        partials, out_h = pool.take("peel.partials", (len(ranges), self.m), np.int64)
+        self.backend.map_tasks(
+            _w_decrement_partial,
+            [(sides_h, lo, hi, self.m, out_h, row) for row, (lo, hi) in enumerate(ranges)],
+            ctx=self.ctx,
+            work=[hi - lo for lo, hi in ranges],
+        )
+        self.sup -= partials.sum(axis=0)
+
+
 def truss_decomposition(
     graph: CSRGraph,
     triangles: TriangleSet | None = None,
@@ -97,6 +209,9 @@ def truss_decomposition(
     are the barrier-synchronized rounds recorded for the machine model.
     ``policy`` is a deprecated alias for ``ctx``.
     """
+    from repro.parallel.shm import active_process_backend
+    from repro.triangles.support import parallel_support
+
     ctx = ExecutionContext.ensure(ctx if ctx is not None else policy)
     if triangles is None:
         triangles = enumerate_triangles(graph, ctx=ctx)
@@ -105,13 +220,24 @@ def truss_decomposition(
         "TrussDecomp", work=0, rounds=0, intensity="memory"
     ) as handle:
         inc = EdgeTriangleIncidence(triangles, ctx=ctx)
-        sup = triangles.support().copy()
+        sup = parallel_support(triangles, ctx, dtype=np.int64)
         support0 = sup.copy()
         tau = np.full(m, 2, dtype=np.int64)
         alive_e = np.ones(m, dtype=bool)
         alive_t = np.ones(triangles.count, dtype=bool)
         e_uv, e_uw, e_vw = triangles.e_uv, triangles.e_uw, triangles.e_vw
         indptr, tri_ids = inc.indptr, inc.tri_ids
+
+        backend = active_process_backend(ctx, m)
+        shared = None
+        if backend is not None:
+            shared = _SharedPeelState(backend, ctx, sup, alive_e)
+            sup, alive_e = shared.sup, shared.alive
+
+        def scan(bound: int) -> np.ndarray:
+            if shared is not None:
+                return shared.scan_frontier(bound)
+            return np.flatnonzero(alive_e & (sup < bound))
 
         rounds = 0
         level_scans = 0
@@ -120,7 +246,7 @@ def truss_decomposition(
         frontier_peak = 0
         while remaining > 0:
             level_scans += 1
-            frontier = np.flatnonzero(alive_e & (sup < k - 2))
+            frontier = scan(k - 2)
             if frontier.size == 0:
                 # Skip empty levels: the next peel happens at the level
                 # where the minimum surviving support s first satisfies
@@ -152,8 +278,11 @@ def truss_decomposition(
                     sides = np.concatenate([e_uv[dying], e_uw[dying], e_vw[dying]])
                     sides = sides[alive_e[sides]]
                     if sides.size:
-                        sup -= np.bincount(sides, minlength=m)
-                frontier = np.flatnonzero(alive_e & (sup < k - 2))
+                        if shared is not None:
+                            shared.decrement(sides)
+                        else:
+                            sup -= np.bincount(sides, minlength=m)
+                frontier = scan(k - 2)
             k += 1
 
     result = TrussDecomposition(

@@ -1,0 +1,103 @@
+"""Tests for the machine-readable perf snapshot (BENCH_*.json)."""
+
+import json
+
+import pytest
+
+from repro.bench.snapshot import (
+    SNAPSHOT_SCHEMA_VERSION,
+    PerfSnapshot,
+    load_snapshot,
+    validate_snapshot,
+)
+
+
+def test_snapshot_write_load_round_trip(tmp_path):
+    path = tmp_path / "BENCH_test.json"
+    snap = PerfSnapshot("test", path=path)
+    snap.add_run("exp", "ds", "afforest", "serial", 1, 2.0)
+    snap.add_run("exp", "ds", "afforest", "process", 4, 0.8,
+                 kernels={"SpNode": 0.3}, identical_to_serial=True)
+    snap.derive("speedup", 2.5)
+    out = snap.write()
+    assert out == path
+    doc = load_snapshot(path)
+    assert doc["schema_version"] == SNAPSHOT_SCHEMA_VERSION
+    assert doc["snapshot"] == "test"
+    assert doc["host"]["cpu_count"] >= 1
+    assert len(doc["runs"]) == 2
+    assert doc["derived"]["speedup"] == 2.5
+    proc = next(r for r in doc["runs"] if r["backend"] == "process")
+    assert proc["kernels"] == {"SpNode": 0.3}
+    assert proc["notes"]["identical_to_serial"] is True
+
+
+def test_snapshot_rerecord_replaces_and_accumulates(tmp_path):
+    path = tmp_path / "BENCH_test.json"
+    snap = PerfSnapshot("test", path=path)
+    snap.add_run("exp", "ds", "afforest", "serial", 1, 2.0)
+    snap.write()
+    # a fresh writer (another bench file, another session) accumulates
+    snap2 = PerfSnapshot("test", path=path)
+    snap2.add_run("exp", "ds", "afforest", "serial", 1, 1.5)  # replaces
+    snap2.add_run("other", "ds", "afforest", "serial", 1, 9.0)  # appends
+    snap2.write()
+    doc = load_snapshot(path)
+    assert len(doc["runs"]) == 2
+    serial = next(r for r in doc["runs"] if r["experiment"] == "exp")
+    assert serial["seconds"] == 1.5
+
+
+def test_snapshot_speedup_helper(tmp_path):
+    snap = PerfSnapshot("test", path=tmp_path / "b.json")
+    assert snap.speedup("exp", "ds", "afforest") is None
+    snap.add_run("exp", "ds", "afforest", "serial", 1, 4.0)
+    snap.add_run("exp", "ds", "afforest", "process", 4, 2.0)
+    assert snap.speedup("exp", "ds", "afforest") == 2.0
+    # modeled runs never contribute to measured speedups
+    snap.add_run("exp2", "ds", "afforest", "serial", 1, 4.0, mode="modeled")
+    snap.add_run("exp2", "ds", "afforest", "process", 4, 1.0, mode="modeled")
+    assert snap.speedup("exp2", "ds", "afforest") is None
+
+
+def test_snapshot_recovers_from_corrupt_prior(tmp_path):
+    path = tmp_path / "BENCH_test.json"
+    path.write_text("{not json", encoding="utf-8")
+    snap = PerfSnapshot("test", path=path)
+    assert snap.doc["runs"] == []
+    snap.add_run("exp", "ds", "afforest", "serial", 1, 1.0)
+    snap.write()
+    assert len(load_snapshot(path)["runs"]) == 1
+
+
+def test_add_run_rejects_bad_mode(tmp_path):
+    snap = PerfSnapshot("test", path=tmp_path / "b.json")
+    with pytest.raises(ValueError, match="mode"):
+        snap.add_run("exp", "ds", "afforest", "serial", 1, 1.0, mode="guessed")
+
+
+@pytest.mark.parametrize(
+    "mutate,match",
+    [
+        (lambda d: d.update(schema_version=99), "schema_version"),
+        (lambda d: d.pop("host"), "host"),
+        (lambda d: d["host"].update(cpu_count=0), "cpu_count"),
+        (lambda d: d.update(runs=[{"experiment": "x"}]), "dataset"),
+        (lambda d: d["runs"][0].update(seconds="fast"), "seconds"),
+        (lambda d: d["runs"][0].update(mode="vibes"), "mode"),
+        (lambda d: d["runs"][0].update(seconds=-1.0), ">= 0"),
+        (lambda d: d["runs"][0].update(kernels="SpNode"), "kernels"),
+    ],
+)
+def test_validate_snapshot_rejects_malformed(tmp_path, mutate, match):
+    snap = PerfSnapshot("test", path=tmp_path / "b.json")
+    snap.add_run("exp", "ds", "afforest", "serial", 1, 1.0)
+    doc = json.loads(json.dumps(snap.doc))
+    mutate(doc)
+    with pytest.raises(ValueError, match=match):
+        validate_snapshot(doc)
+
+
+def test_validate_snapshot_rejects_non_dict():
+    with pytest.raises(ValueError, match="object"):
+        validate_snapshot([])

@@ -76,3 +76,31 @@ def test_atomic_array_concurrent_min():
 
     parallel_for(values.size, chunk, "thread", num_workers=8)
     assert a.load(0) == int(values.min())
+
+
+def test_thread_backend_pool_persists_and_closes():
+    from repro.parallel.backends import ThreadBackend, close_backend
+
+    backend = ThreadBackend()
+    backend.run(100, lambda lo, hi, tid: None, num_workers=3)
+    pool = backend._pool
+    assert pool is not None
+    backend.run(100, lambda lo, hi, tid: None, num_workers=2)
+    assert backend._pool is pool  # reused, not rebuilt for fewer workers
+    backend.run(100, lambda lo, hi, tid: None, num_workers=5)
+    assert backend._pool is not pool  # grown
+    close_backend(backend)
+    assert backend._pool is None
+    # close() is not terminal: the pool re-creates on next use
+    backend.run(10, lambda lo, hi, tid: None, num_workers=2)
+    assert backend._pool is not None
+    backend.close()
+
+
+def test_thread_backend_single_worker_never_builds_pool():
+    from repro.parallel.backends import ThreadBackend
+
+    backend = ThreadBackend()
+    backend.run(10, lambda lo, hi, tid: None, num_workers=1)
+    assert backend._pool is None
+    backend.close()

@@ -94,3 +94,27 @@ def test_paper_example_support():
     assert sup[g.edges.edge_id(0, 4)] == 1
     # (9,10) inside K5: 3 triangles
     assert sup[g.edges.edge_id(9, 10)] == 3
+
+
+def test_support_optional_dtype_identical_counts():
+    import numpy as np
+
+    from repro.graph import CSRGraph
+    from repro.graph.generators import erdos_renyi_gnm
+    from repro.parallel.context import ExecutionContext
+    from repro.triangles.enumerate import enumerate_triangles
+    from repro.triangles.support import compute_support
+
+    g = CSRGraph.from_edgelist(erdos_renyi_gnm(150, 900, seed=3))
+    tris = enumerate_triangles(g)
+    ref = tris.support()
+    assert ref.dtype == np.int64
+    narrow = tris.support(dtype=np.int32)
+    assert narrow.dtype == np.int32
+    assert np.array_equal(narrow, ref)
+    # the auto dtype policy narrows compute_support on small graphs
+    auto = compute_support(g, triangles=tris, ctx=ExecutionContext(dtype="auto"))
+    assert auto.dtype == np.int32
+    assert np.array_equal(auto, ref)
+    wide = compute_support(g, triangles=tris, ctx=ExecutionContext(dtype="int64"))
+    assert wide.dtype == np.int64
