@@ -1,0 +1,41 @@
+"""Static analysis and dynamic race detection for the kernel layer.
+
+Two halves guard the invariants the process-backend speedup story rests
+on (see ``docs/architecture.md``, "Static analysis & kernel contracts"):
+
+* the **AST contract linter** (:mod:`repro.analysis.engine`,
+  :mod:`repro.analysis.rules`) — rules REP001–REP005 over worker purity,
+  atomics-freedom, ctx threading, span/metric hygiene, and key-dtype
+  safety. Run it with ``python -m repro.analysis`` or ``repro lint``.
+* the **write-set race detector** (:mod:`repro.analysis.races`) — an
+  opt-in instrumented mode of the shared-memory backend that verifies
+  the pairwise disjointness of worker write sets at reduce time.
+"""
+
+from repro.analysis.engine import (
+    Baseline,
+    Finding,
+    discover_files,
+    run_lint,
+)
+from repro.analysis.races import (
+    TrackedArray,
+    enable_tracking,
+    reset_tracking,
+    tracking_enabled,
+    verify_task_accesses,
+)
+from repro.analysis.rules import default_rules
+
+__all__ = [
+    "Baseline",
+    "Finding",
+    "TrackedArray",
+    "default_rules",
+    "discover_files",
+    "enable_tracking",
+    "reset_tracking",
+    "run_lint",
+    "tracking_enabled",
+    "verify_task_accesses",
+]

@@ -305,6 +305,27 @@ def _cmd_verify(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_lint(args: argparse.Namespace) -> int:
+    from repro.analysis.__main__ import main as lint_main
+
+    forwarded: list[str] = list(args.paths)
+    if args.baseline is not None:
+        forwarded.append("--baseline")
+        if args.baseline != "":
+            forwarded.append(args.baseline)
+    if args.write_baseline is not None:
+        forwarded.append("--write-baseline")
+        if args.write_baseline != "":
+            forwarded.append(args.write_baseline)
+    if args.rules:
+        forwarded.extend(["--rules", args.rules])
+    if args.format != "text":
+        forwarded.extend(["--format", args.format])
+    if args.list_rules:
+        forwarded.append("--list-rules")
+    return lint_main(forwarded)
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="equitruss",
@@ -389,6 +410,24 @@ def build_parser() -> argparse.ArgumentParser:
     ver.add_argument("index", help="index .npz (embeds its graph)")
     add_context_flags(ver)
     ver.set_defaults(func=_cmd_verify)
+
+    lint = sub.add_parser(
+        "lint",
+        help="run the kernel-contract linter (alias of python -m repro.analysis)",
+    )
+    lint.add_argument("paths", nargs="*", default=[],
+                      help="files or directories (default: src/repro)")
+    lint.add_argument("--baseline", nargs="?", const="", default=None,
+                      metavar="PATH",
+                      help="only findings absent from the baseline fail")
+    lint.add_argument("--write-baseline", nargs="?", const="", default=None,
+                      metavar="PATH", help="grandfather the current findings")
+    lint.add_argument("--rules", default=None, metavar="REP001,REP003",
+                      help="comma-separated rule ids to run")
+    lint.add_argument("--format", default="text", choices=["text", "json"])
+    lint.add_argument("--list-rules", action="store_true",
+                      help="print every rule id with its contract")
+    lint.set_defaults(func=_cmd_lint)
     return parser
 
 

@@ -60,7 +60,7 @@ def verify_index_semantics(
     # partitions.
     comp = np.arange(graph.num_edges, dtype=np.int64)
     if hooks.shape[0]:
-        minlabel_hook_rounds(comp, hooks[:, 0], hooks[:, 1])
+        minlabel_hook_rounds(comp, hooks[:, 0], hooks[:, 1], ctx=ctx)
     member = index.trussness >= 3
     roots = comp[member]
     sns = sn[member]

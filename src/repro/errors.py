@@ -34,3 +34,15 @@ class IndexIntegrityError(ReproError):
 
 class BackendError(ReproError):
     """A parallel execution backend failed or was misconfigured."""
+
+
+class SharedMemoryRaceError(BackendError):
+    """The write-set race detector found a shared-memory access hazard."""
+
+
+class PartitionOverlapError(SharedMemoryRaceError):
+    """Two workers of one fan-out wrote overlapping shared-segment ranges."""
+
+
+class StaleReadError(SharedMemoryRaceError):
+    """A worker read a shared range another worker of the same fan-out wrote."""

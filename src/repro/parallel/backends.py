@@ -18,12 +18,23 @@ from __future__ import annotations
 
 from collections.abc import Callable
 from concurrent.futures import ThreadPoolExecutor
+from typing import Protocol
 
 from repro.errors import BackendError
 from repro.parallel.partition import block_ranges
 from repro.utils.validation import check_positive
 
 ChunkFn = Callable[[int, int, int], None]
+
+
+class Backend(Protocol):
+    """Structural type every execution backend satisfies."""
+
+    name: str
+
+    def run(self, n: int, chunk_fn: ChunkFn, num_workers: int = ...) -> None:
+        ...
+
 
 #: Names accepted by :func:`get_backend`.
 BACKEND_NAMES = ("serial", "thread", "process")
@@ -101,7 +112,7 @@ _BACKENDS = {
 }
 
 
-def get_backend(name: str):
+def get_backend(name: str) -> "Backend":
     """Instantiate a backend by name (``serial``, ``thread``, ``process``)."""
     if name == "process":
         # imported lazily: shm pulls in multiprocessing machinery that
@@ -117,7 +128,7 @@ def get_backend(name: str):
         ) from None
 
 
-def close_backend(backend) -> None:
+def close_backend(backend: "Backend | None") -> None:
     """Release a backend's pools, if it owns any."""
     close = getattr(backend, "close", None)
     if close is not None:
@@ -127,7 +138,7 @@ def close_backend(backend) -> None:
 def parallel_for(
     n: int,
     chunk_fn: ChunkFn,
-    backend="serial",
+    backend: "str | Backend" = "serial",
     num_workers: int = 1,
 ) -> None:
     """Run ``chunk_fn`` over ``range(n)`` on the chosen backend."""

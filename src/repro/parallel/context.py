@@ -253,7 +253,7 @@ class ExecutionContext:
         """Open an instrumented region; nested kernels reach its handle
         through :meth:`add_round`. The workspace high-water at exit is
         attached to the span as ``ws_peak``."""
-        with self.trace.region(name, **kwargs) as handle:
+        with self.trace.region(name, **kwargs) as handle:  # repro: allow(REP004) — forwarding wrapper
             self._handles.append(handle)
             try:
                 yield handle

@@ -37,15 +37,30 @@ emitted. Kernels therefore never need platform guards.
 from __future__ import annotations
 
 import multiprocessing as mp
+import re
 import secrets
 import time
 import warnings
 from collections.abc import Callable, Sequence
 from dataclasses import dataclass
 from multiprocessing import shared_memory
+from typing import TYPE_CHECKING
 
 import numpy as np
 
+if TYPE_CHECKING:
+    from concurrent.futures import ProcessPoolExecutor
+
+    from repro.parallel.backends import ChunkFn
+    from repro.parallel.context import ExecutionContext
+
+from repro.analysis.races import (
+    AccessLog,
+    TrackedArray,
+    drain_log,
+    tracking_enabled,
+    verify_task_accesses,
+)
 from repro.errors import BackendError
 from repro.obs import metrics
 from repro.utils.validation import check_positive
@@ -105,7 +120,13 @@ _ATTACHED: dict[str, shared_memory.SharedMemory] = {}
 
 
 def attach(handle: SharedHandle) -> np.ndarray:
-    """Zero-copy NumPy view of the segment behind ``handle``."""
+    """Zero-copy NumPy view of the segment behind ``handle``.
+
+    Under race tracking (:func:`repro.analysis.races.tracking_enabled`)
+    the view is a :class:`~repro.analysis.races.TrackedArray` that logs
+    the byte ranges of every read and write for the write-set check in
+    :meth:`ProcessBackend.map_tasks`.
+    """
     seg = _ATTACHED.get(handle.name)
     if seg is None:
         if len(_ATTACHED) >= _ATTACH_CACHE_MAX:
@@ -114,7 +135,10 @@ def attach(handle: SharedHandle) -> np.ndarray:
             _ATTACHED.clear()
         seg = shared_memory.SharedMemory(name=handle.name)
         _ATTACHED[handle.name] = seg
-    return np.ndarray(handle.shape, dtype=np.dtype(handle.dtype), buffer=seg.buf)
+    arr = np.ndarray(handle.shape, dtype=np.dtype(handle.dtype), buffer=seg.buf)
+    if tracking_enabled():
+        return TrackedArray.wrap(arr, handle.name)
+    return arr
 
 
 def export_array(arr: np.ndarray) -> SharedHandle:
@@ -173,7 +197,7 @@ class SharedArrayPool:
         return sum(seg.size for seg in self._segments.values())
 
     def take(
-        self, kind: str, shape: int | tuple, dtype
+        self, kind: str, shape: int | tuple, dtype: "np.typing.DTypeLike"
     ) -> tuple[np.ndarray, SharedHandle]:
         """A shared scratch array of exactly ``shape`` elements.
 
@@ -199,8 +223,12 @@ class SharedArrayPool:
                 _unlink(seg)
                 seg.close()
             grown = max(nbytes, 2 * self._capacity.get(key, 0))
+            # the kind in the name keeps race-detector diagnostics
+            # readable; truncated so names fit macOS's 31-char limit
+            tag = re.sub(r"[^A-Za-z0-9]", "", kind)[:10] or "pool"
             seg = shared_memory.SharedMemory(
-                create=True, size=grown, name=f"repro_pool_{secrets.token_hex(8)}"
+                create=True, size=grown,
+                name=f"repro_{tag}_{secrets.token_hex(6)}",
             )
             self._segments[key] = seg
             self._capacity[key] = grown
@@ -251,11 +279,26 @@ def process_backend_available() -> bool:
     return _AVAILABLE
 
 
-def _timed_task(fn: Callable, args: tuple) -> tuple[object, float]:
-    """Worker-side wrapper: run ``fn(*args)`` and report its seconds."""
+def _timed_task(
+    fn: Callable, args: tuple
+) -> tuple[object, float, AccessLog | None]:
+    """Worker-side wrapper: run ``fn(*args)``, report seconds + accesses.
+
+    The third element is this task's shared-segment access log when race
+    tracking is on (see :mod:`repro.analysis.races`) and ``None``
+    otherwise. The log is drained *before* the task runs so accesses
+    from earlier coordinator work (inline-fallback mode) are never
+    attributed to this task.
+    """
+    if not tracking_enabled():
+        t0 = time.perf_counter()
+        out = fn(*args)
+        return out, time.perf_counter() - t0, None
+    drain_log()
     t0 = time.perf_counter()
     out = fn(*args)
-    return out, time.perf_counter() - t0
+    seconds = time.perf_counter() - t0
+    return out, seconds, drain_log()
 
 
 # ----------------------------------------------------------------------
@@ -282,13 +325,13 @@ class ProcessBackend:
     ) -> None:
         self.min_items = int(min_items)
         self._requested_workers = num_workers
-        self._executor = None
+        self._executor: ProcessPoolExecutor | None = None
         self._executor_workers = 0
         self._warned = False
         self.pool = SharedArrayPool()
 
     # ------------------------------------------------------------ pool
-    def _ensure_executor(self, num_workers: int):
+    def _ensure_executor(self, num_workers: int) -> "ProcessPoolExecutor | None":
         """The persistent executor, (re)built only when it must grow."""
         if not process_backend_available():
             return None
@@ -320,7 +363,7 @@ class ProcessBackend:
             )
 
     # ------------------------------------------------------------ execution
-    def run(self, n: int, chunk_fn, num_workers: int = 1) -> None:
+    def run(self, n: int, chunk_fn: "ChunkFn", num_workers: int = 1) -> None:
         """Generic ``parallel_for`` contract: coordinator-inline.
 
         Closure chunk functions mutate coordinator-local arrays and are
@@ -335,7 +378,7 @@ class ProcessBackend:
         self,
         fn: Callable,
         tasks: Sequence[tuple],
-        ctx=None,
+        ctx: "ExecutionContext | None" = None,
         label: str = "Worker",
         work: Sequence[int] | None = None,
     ) -> list:
@@ -372,8 +415,11 @@ class ProcessBackend:
                 for f in futures:
                     f.cancel()
                 raise
-        results = [r for r, _ in timed]
-        seconds = [s for _, s in timed]
+        results = [r for r, _, _ in timed]
+        seconds = [s for _, s, _ in timed]
+        accesses = [a for _, _, a in timed]
+        if any(accesses):
+            verify_task_accesses(accesses, label=label)
         if ctx is not None and seconds:
             mean = sum(seconds) / len(seconds)
             imbalance = (max(seconds) / mean) if mean > 0 else 1.0
@@ -407,7 +453,9 @@ class ProcessBackend:
             pass
 
 
-def active_process_backend(ctx, size: int) -> ProcessBackend | None:
+def active_process_backend(
+    ctx: "ExecutionContext | None", size: int
+) -> ProcessBackend | None:
     """The context's :class:`ProcessBackend` when fan-out is worthwhile.
 
     Returns ``None`` — i.e. keep the serial vectorized path — unless the

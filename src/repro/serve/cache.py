@@ -13,6 +13,7 @@ from __future__ import annotations
 
 import threading
 from collections import OrderedDict
+from typing import Any, Hashable
 
 from repro.errors import InvalidParameterError
 from repro.obs import metrics
@@ -30,7 +31,7 @@ class QueryCache:
         if capacity < 0:
             raise InvalidParameterError(f"cache capacity must be >= 0, got {capacity}")
         self.capacity = capacity
-        self._data: OrderedDict = OrderedDict()
+        self._data: OrderedDict[Hashable, Any] = OrderedDict()
         self._lock = threading.Lock()
         self.hits = 0
         self.misses = 0
@@ -40,7 +41,7 @@ class QueryCache:
     def __len__(self) -> int:
         return len(self._data)
 
-    def __contains__(self, key) -> bool:
+    def __contains__(self, key: Hashable) -> bool:
         return key in self._data
 
     @property
@@ -48,7 +49,7 @@ class QueryCache:
         total = self.hits + self.misses
         return self.hits / total if total else 0.0
 
-    def get(self, key):
+    def get(self, key: Hashable) -> Any:
         """The cached value (refreshed to most-recent), or ``None``."""
         with self._lock:
             try:
@@ -62,7 +63,7 @@ class QueryCache:
         metrics.inc("repro.serve.cache.hits")
         return value
 
-    def put(self, key, value) -> None:
+    def put(self, key: Hashable, value: Any) -> None:
         if self.capacity == 0:
             return
         with self._lock:

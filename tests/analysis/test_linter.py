@@ -1,0 +1,348 @@
+"""Unit tests for the AST contract linter (repro.analysis).
+
+One positive (violating) and one negative (conforming) fixture per rule
+REP001-REP005, plus suppression pragmas, the baseline mechanism, and the
+CLI exit codes. Fixture modules are written under a synthetic
+``src/repro/<pkg>/`` tree so package-scoped rules see the right package.
+"""
+
+import json
+import textwrap
+from pathlib import Path
+
+import pytest
+
+from repro.analysis import Baseline, run_lint
+from repro.analysis.__main__ import main as lint_main
+from repro.analysis.engine import DEFAULT_BASELINE_NAME
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+
+def write_module(tmp_path, pkg, code, name="mod.py"):
+    d = tmp_path / "src" / "repro" / pkg
+    d.mkdir(parents=True, exist_ok=True)
+    f = d / name
+    f.write_text(textwrap.dedent(code))
+    return f
+
+
+def lint(tmp_path, pkg, code):
+    f = write_module(tmp_path, pkg, code)
+    return run_lint([f], root=tmp_path)
+
+
+def rule_ids(findings):
+    return [f.rule for f in findings]
+
+
+# ----------------------------------------------------------------------
+# REP001 — process-kernel purity
+# ----------------------------------------------------------------------
+
+def test_rep001_flags_lambda_and_global_mutation(tmp_path):
+    findings = lint(tmp_path, "truss", """\
+        CACHE = {}
+
+        def _w_bad(h):
+            CACHE[h] = 1
+            return h
+
+        def run(be, tasks):
+            return be.map_tasks(lambda t: t, tasks)
+    """)
+    assert rule_ids(findings).count("REP001") == 2
+    messages = " ".join(f.message for f in findings)
+    assert "lambda" in messages and "CACHE" in messages
+
+
+def test_rep001_flags_bound_method_and_nested_def(tmp_path):
+    findings = lint(tmp_path, "truss", """\
+        def run(be, tasks):
+            def inner(t):
+                return t
+            be.map_tasks(inner, tasks)
+            return be.map_tasks(be.helper, tasks)
+    """)
+    assert rule_ids(findings).count("REP001") == 2
+
+
+def test_rep001_clean_module_level_worker(tmp_path):
+    findings = lint(tmp_path, "truss", """\
+        from repro.parallel.shm import attach
+
+        def _w_ok(h, lo, hi):
+            out = attach(h)
+            out[lo:hi] = 0
+            return hi - lo
+
+        def run(be, tasks):
+            return be.map_tasks(_w_ok, tasks)
+    """)
+    assert "REP001" not in rule_ids(findings)
+
+
+# ----------------------------------------------------------------------
+# REP002 — no cross-process atomics
+# ----------------------------------------------------------------------
+
+def test_rep002_flags_atomics_in_worker(tmp_path):
+    findings = lint(tmp_path, "triangles", """\
+        from repro.parallel.atomics import AtomicArray
+
+        def _w_bad(h, n):
+            acc = AtomicArray(n)
+            return acc
+    """)
+    assert "REP002" in rule_ids(findings)
+
+
+def test_rep002_allows_atomics_outside_workers(tmp_path):
+    findings = lint(tmp_path, "triangles", """\
+        from repro.parallel.atomics import AtomicArray
+
+        def threaded_path(n):
+            return AtomicArray(n)
+    """)
+    assert "REP002" not in rule_ids(findings)
+
+
+# ----------------------------------------------------------------------
+# REP003 — ctx threading
+# ----------------------------------------------------------------------
+
+def test_rep003_flags_dropped_ctx_and_bare_context(tmp_path):
+    findings = lint(tmp_path, "cc", """\
+        from repro.parallel.context import ExecutionContext
+
+        def helper(x, ctx=None):
+            return x
+
+        def entry(g, ctx=None):
+            bad = ExecutionContext()
+            return helper(g)
+    """)
+    ids = rule_ids(findings)
+    assert ids.count("REP003") == 2
+
+
+def test_rep003_clean_when_ctx_forwarded(tmp_path):
+    findings = lint(tmp_path, "cc", """\
+        def helper(x, ctx=None):
+            return x
+
+        def entry(g, ctx=None):
+            return helper(g, ctx=ctx)
+
+        def positional(g, ctx=None):
+            return helper(g, ctx)
+    """)
+    assert "REP003" not in rule_ids(findings)
+
+
+def test_rep003_ignores_non_kernel_packages(tmp_path):
+    findings = lint(tmp_path, "utils", """\
+        from repro.parallel.context import ExecutionContext
+
+        def make():
+            return ExecutionContext()
+    """)
+    assert "REP003" not in rule_ids(findings)
+
+
+# ----------------------------------------------------------------------
+# REP004 — span/metric hygiene
+# ----------------------------------------------------------------------
+
+def test_rep004_flags_dynamic_and_offnamespace_names(tmp_path):
+    findings = lint(tmp_path, "serve", """\
+        from repro.obs import metrics
+
+        def publish(name):
+            metrics.inc(name, 1)
+            metrics.set_gauge("wrong.namespace", 2)
+    """)
+    assert rule_ids(findings).count("REP004") == 2
+
+
+def test_rep004_accepts_literals_and_module_constants(tmp_path):
+    findings = lint(tmp_path, "serve", """\
+        from repro.obs import metrics
+
+        GAUGE = "repro.serve.depth"
+
+        def publish(ctx):
+            metrics.inc("repro.serve.hits", 1)
+            metrics.set_gauge(GAUGE, 2)
+            with ctx.region("repro.serve.query"):
+                pass
+    """)
+    assert "REP004" not in rule_ids(findings)
+
+
+def test_rep004_flags_unbalanced_timer(tmp_path):
+    findings = lint(tmp_path, "serve", """\
+        from repro.utils.timing import Timer
+
+        def leaky():
+            t = Timer()
+            t.start()
+            return t
+
+        def balanced():
+            t = Timer()
+            t.start()
+            t.stop()
+            return t.elapsed
+    """)
+    rep4 = [f for f in findings if f.rule == "REP004"]
+    assert len(rep4) == 1 and "leaky" in rep4[0].message
+
+
+# ----------------------------------------------------------------------
+# REP005 — key-dtype safety
+# ----------------------------------------------------------------------
+
+def test_rep005_flags_unguarded_key_arithmetic(tmp_path):
+    findings = lint(tmp_path, "equitruss", """\
+        def pair_keys(u, v, n):
+            return u * n + v
+    """)
+    assert "REP005" in rule_ids(findings)
+
+
+def test_rep005_accepts_guarded_forms(tmp_path):
+    findings = lint(tmp_path, "equitruss", """\
+        import numpy as np
+
+        def cast_inline(u, v, n):
+            return u.astype(np.int64) * n + v
+
+        def cast_scalar(u, v, n):
+            return u * np.int64(n) + v
+
+        def guarded_local(u, v, n):
+            span = np.int64(n)
+            return u * span + v
+
+        def policy(u, v, n, kd):
+            return kd.type(u) * n + v
+
+        def scalar_math(x):
+            return x * 2 + 1
+    """)
+    assert "REP005" not in rule_ids(findings)
+
+
+# ----------------------------------------------------------------------
+# Suppression pragmas and baseline
+# ----------------------------------------------------------------------
+
+def test_pragma_suppresses_on_the_offending_line(tmp_path):
+    findings = lint(tmp_path, "equitruss", """\
+        def pair_keys(u, v, n):
+            return u * n + v  # repro: allow(REP005)
+    """)
+    assert findings == []
+
+
+def test_pragma_only_covers_named_rules(tmp_path):
+    findings = lint(tmp_path, "equitruss", """\
+        def pair_keys(u, v, n):
+            return u * n + v  # repro: allow(REP004)
+    """)
+    assert "REP005" in rule_ids(findings)
+
+
+def test_baseline_grandfathers_and_survives_line_moves(tmp_path):
+    f = write_module(tmp_path, "equitruss", """\
+        def pair_keys(u, v, n):
+            return u * n + v
+    """)
+    findings = run_lint([f], root=tmp_path)
+    baseline = Baseline.from_findings(findings, note="legacy")
+
+    # same violation, moved two lines down: fingerprint still matches
+    f.write_text("X = 1\nY = 2\n" + f.read_text())
+    moved = run_lint([f], root=tmp_path)
+    new, stale = baseline.split(moved)
+    assert new == [] and stale == []
+
+    # a second, different violation is new
+    f.write_text(f.read_text() + "\ndef more(a, b, m):\n    return a * m + b\n")
+    new, _stale = baseline.split(run_lint([f], root=tmp_path))
+    assert len(new) == 1
+
+
+def test_baseline_reports_stale_entries(tmp_path):
+    f = write_module(tmp_path, "equitruss", """\
+        def pair_keys(u, v, n):
+            return u * n + v
+    """)
+    baseline = Baseline.from_findings(run_lint([f], root=tmp_path))
+    f.write_text("def pair_keys(u, v, n):\n    return (u, v, n)\n")
+    new, stale = baseline.split(run_lint([f], root=tmp_path))
+    assert new == [] and len(stale) == 1
+
+
+# ----------------------------------------------------------------------
+# CLI (python -m repro.analysis)
+# ----------------------------------------------------------------------
+
+def test_cli_exit_codes_on_fixture_tree(tmp_path, capsys):
+    bad = write_module(tmp_path, "equitruss", """\
+        def pair_keys(u, v, n):
+            return u * n + v
+    """)
+    assert lint_main([str(bad)]) == 1
+    assert "REP005" in capsys.readouterr().out
+
+    good = write_module(tmp_path, "serve", "def f():\n    return 1\n")
+    assert lint_main([str(good)]) == 0
+
+
+def test_cli_write_then_compare_baseline(tmp_path, capsys):
+    bad = write_module(tmp_path, "equitruss", """\
+        def pair_keys(u, v, n):
+            return u * n + v
+    """)
+    bpath = tmp_path / DEFAULT_BASELINE_NAME
+    assert lint_main([str(bad), "--write-baseline", str(bpath)]) == 0
+    doc = json.loads(bpath.read_text())
+    assert doc["version"] == 1 and len(doc["findings"]) == 1
+
+    # grandfathered: exit 0; without the baseline: exit 1
+    assert lint_main([str(bad), "--baseline", str(bpath)]) == 0
+    assert lint_main([str(bad)]) == 1
+    capsys.readouterr()
+
+
+def test_cli_json_format(tmp_path, capsys):
+    bad = write_module(tmp_path, "equitruss", """\
+        def pair_keys(u, v, n):
+            return u * n + v
+    """)
+    assert lint_main([str(bad), "--format", "json"]) == 1
+    doc = json.loads(capsys.readouterr().out)
+    assert doc["findings"][0]["rule"] == "REP005"
+    assert doc["findings"][0]["fingerprint"]
+
+
+def test_cli_rule_selection_and_listing(tmp_path, capsys):
+    bad = write_module(tmp_path, "equitruss", """\
+        def pair_keys(u, v, n):
+            return u * n + v
+    """)
+    assert lint_main([str(bad), "--rules", "REP003"]) == 0
+    assert lint_main(["--list-rules"]) == 0
+    out = capsys.readouterr().out
+    for rid in ("REP001", "REP002", "REP003", "REP004", "REP005"):
+        assert rid in out
+    with pytest.raises(SystemExit):
+        lint_main([str(bad), "--rules", "REP999"])
+
+
+def test_real_tree_is_clean():
+    """The shipped sources must lint clean (the CI contract)."""
+    src = REPO_ROOT / "src" / "repro"
+    assert run_lint([src], root=REPO_ROOT) == []
