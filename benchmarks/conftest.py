@@ -51,11 +51,18 @@ def _maybe_dump_trace(result, test_name: str) -> None:
     if tracer is None:
         return
     from repro.obs.export import write_trace_jsonl
+    from repro.obs.manifest import collect_manifest, write_manifest
 
     out_dir = Path(trace_dir)
     out_dir.mkdir(parents=True, exist_ok=True)
     safe = re.sub(r"[^A-Za-z0-9_.-]+", "_", test_name)
-    write_trace_jsonl(tracer, out_dir / f"{safe}.jsonl")
+    path = write_trace_jsonl(tracer, out_dir / f"{safe}.jsonl")
+    # every dumped trace ships with its provenance record, so two dump
+    # directories are diffable *and* attributable to commit/host
+    write_manifest(
+        collect_manifest(extra={"experiment": test_name}),
+        f"{path}.manifest.json",
+    )
 
 
 def once(benchmark, fn, test_name: str | None = None):

@@ -80,6 +80,8 @@ class PerfSnapshot:
                 validate_snapshot(prior)
                 self.doc["runs"] = prior.get("runs", [])
                 self.doc["derived"] = prior.get("derived", {})
+                if "manifest" in prior:
+                    self.doc["manifest"] = prior["manifest"]
             except (ValueError, OSError):
                 pass  # unreadable/invalid prior snapshot: start fresh
 
@@ -126,6 +128,17 @@ class PerfSnapshot:
     def derive(self, name: str, value) -> None:
         """Record a derived scalar (speedups, identity checks, ...)."""
         self.doc["derived"][name] = value
+
+    def attach_manifest(self, manifest: dict) -> None:
+        """Attach a run-provenance manifest (see :mod:`repro.obs.manifest`).
+
+        The manifest is validated here and again at :meth:`write`, so a
+        snapshot either carries a well-formed provenance record or none.
+        """
+        from repro.obs.manifest import validate_manifest
+
+        validate_manifest(manifest)
+        self.doc["manifest"] = manifest
 
     def speedup(
         self, experiment: str, dataset: str, variant: str,
@@ -189,6 +202,14 @@ def validate_snapshot(doc: dict) -> None:
             raise ValueError(f"runs[{i}].seconds must be >= 0")
         if "kernels" in run and not isinstance(run["kernels"], dict):
             raise ValueError(f"runs[{i}].kernels must be an object")
+    if "manifest" in doc:
+        from repro.errors import GraphFormatError
+        from repro.obs.manifest import validate_manifest
+
+        try:
+            validate_manifest(doc["manifest"])
+        except GraphFormatError as exc:
+            raise ValueError(f"snapshot manifest invalid: {exc}") from exc
 
 
 def load_snapshot(path: str | Path) -> dict:

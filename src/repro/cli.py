@@ -91,6 +91,11 @@ def _cmd_index(args: argparse.Namespace) -> int:
     graph = load_graph(args.graph, ctx=ctx)
     log.info(kv("load_graph", path=args.graph, vertices=graph.num_vertices,
                 edges=graph.num_edges, dtype=graph.index_dtype.name))
+    from repro.obs.exporter import emitter_from_env
+
+    emitter = emitter_from_env()  # REPRO_METRICS_INTERVAL/_PATH opt-in
+    if emitter is not None:
+        emitter.start()
     result = build_index(graph, variant=args.variant, ctx=ctx)
     index = result.index
     index.validate()
@@ -126,6 +131,30 @@ def _cmd_index(args: argparse.Namespace) -> int:
         path = write_metrics_json(registry, args.metrics_out)
         print(f"wrote metrics ({len(registry.names())} names) -> {path}")
         log.info(kv("metrics_out", path=str(path), names=len(registry.names())))
+    if args.prom_out:
+        from repro.obs.exporter import render_prometheus
+
+        Path(args.prom_out).write_text(
+            render_prometheus(get_registry()), encoding="utf-8"
+        )
+        print(f"wrote prometheus exposition -> {args.prom_out}")
+    manifest_out = args.manifest_out
+    if manifest_out is None and args.trace_out:
+        # every exported trace ships with its provenance record
+        manifest_out = f"{args.trace_out}.manifest.json"
+    if manifest_out:
+        from repro.obs.manifest import collect_manifest, write_manifest
+
+        doc = collect_manifest(
+            ctx=ctx, graph=graph, dataset=str(args.graph),
+            extra={"command": "index", "variant": args.variant},
+        )
+        path = write_manifest(doc, manifest_out)
+        print(f"wrote manifest -> {path}")
+        log.info(kv("manifest_out", path=str(path)))
+    if emitter is not None:
+        emitter.stop()
+        print(f"wrote metrics stream -> {emitter.path}")
     ctx.close()  # release worker processes / shared segments promptly
     return 0
 
@@ -251,10 +280,22 @@ def _cmd_query(args: argparse.Namespace) -> int:
 def _cmd_info(args: argparse.Namespace) -> int:
     if args.trace:
         from repro.equitruss.kernels import KERNELS, TRUSS_DECOMP
+        from repro.errors import GraphFormatError
         from repro.obs.export import read_trace_jsonl
         from repro.obs.report import breakdown_table, flamegraph
 
-        spans = read_trace_jsonl(args.trace)
+        try:
+            spans = read_trace_jsonl(args.trace)
+        except GraphFormatError as exc:
+            if "empty trace file" in str(exc):
+                # a run that recorded nothing is a degenerate trace, not
+                # an error — report it and exit cleanly
+                print(f"{args.trace}: empty trace (no spans recorded)")
+                return 0
+            raise
+        if not spans:
+            print(f"{args.trace}: trace has no spans")
+            return 0
         print(breakdown_table(spans, include=(*KERNELS, TRUSS_DECOMP),
                               title=f"per-kernel breakdown: {args.trace}"))
         if args.flame:
@@ -372,6 +413,11 @@ def build_parser() -> argparse.ArgumentParser:
                      help="write the hierarchical span trace as JSONL")
     idx.add_argument("--metrics-out", default=None, metavar="PATH",
                      help="write the run's metrics snapshot as JSON")
+    idx.add_argument("--prom-out", default=None, metavar="PATH",
+                     help="write the metrics in Prometheus text exposition format")
+    idx.add_argument("--manifest-out", default=None, metavar="PATH",
+                     help="write a run-provenance manifest (defaults to "
+                          "<trace-out>.manifest.json when --trace-out is given)")
     idx.set_defaults(func=_cmd_index)
 
     q = sub.add_parser("query", help="local community search from a saved index")

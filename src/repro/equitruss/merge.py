@@ -22,6 +22,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.obs import metrics
 from repro.parallel.context import ExecutionContext
 from repro.parallel.partition import block_ranges
 from repro.utils.validation import check_positive
@@ -43,6 +44,9 @@ def _w_superedge_chunk(comp_h, lo_h, hi_h, lo: int, hi: int, span: int):
     b = comp[attach(hi_h)[lo:hi]]
     keys = np.minimum(a, b).astype(np.int64) * span + np.maximum(a, b)
     local = np.unique(keys)  # the thread-local set
+    # worker-attributed partial: summed across tasks this equals the
+    # serial path's se_lo.size exactly
+    metrics.inc("repro.equitruss.superedge_candidates", hi - lo)
     return export_array(np.stack([local // span, local % span], axis=1))
 
 
@@ -90,11 +94,13 @@ def generate_superedges(
             tasks,
             ctx=ctx,
             work=[t[4] - t[3] for t in tasks],
+            kernel="SpEdge",
         )
         for tid, h in zip(tids, handles):
             worker_subsets[tid].append(import_array(h))
         return worker_subsets
 
+    metrics.inc("repro.equitruss.superedge_candidates", int(se_lo.size))
     ws = ctx.workspace
     a = ws.gather("se.a", comp, se_lo)
     b = ws.gather("se.b", comp, se_hi)

@@ -220,6 +220,7 @@ def recompute_level_tables(
         [(*handles, lo, hi, k, n, batch_edges) for lo, hi in ranges],
         ctx=ctx,
         work=[hi - lo for lo, hi in ranges],
+        kernel="LevelTables",
     )
     parts = [[], [], [], []]
     for ha_h, hb_h, sl_h, sh_h, totals in results:

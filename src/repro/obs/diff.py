@@ -76,15 +76,22 @@ def diff_traces(
     threshold: float = 0.10,
     min_seconds: float = 0.001,
     include=None,
+    collapse_workers: bool = True,
 ) -> TraceDiff:
     """Compare two traces (tracers or loaded span records) by span name.
 
     A name regresses when ``new > base * (1 + threshold)`` **and** the
     absolute growth exceeds ``min_seconds``. Names only present in the
     new trace regress when they alone exceed ``min_seconds``.
+
+    Per-worker fan-out spans are collapsed by default: any span carrying
+    the stable ``worker_id`` attribute diffs under its ``Worker[*]``
+    family name, so a 4-worker base trace compares cleanly against an
+    8-worker new trace instead of flagging ``Worker[4..7]`` as new
+    regressions.
     """
-    base_agg = aggregate_spans(base, include=include)
-    new_agg = aggregate_spans(new, include=include)
+    base_agg = aggregate_spans(base, include=include, collapse_workers=collapse_workers)
+    new_agg = aggregate_spans(new, include=include, collapse_workers=collapse_workers)
     entries: list[DiffEntry] = []
     for name in {**base_agg, **new_agg}:  # first-seen: base order, then new-only
         b = base_agg.get(name, 0.0)
@@ -102,6 +109,7 @@ def diff_trace_files(
     threshold: float = 0.10,
     min_seconds: float = 0.001,
     include=None,
+    collapse_workers: bool = True,
 ) -> TraceDiff:
     """:func:`diff_traces` over two saved JSONL trace files."""
     from repro.obs.export import read_trace_jsonl
@@ -112,4 +120,5 @@ def diff_trace_files(
         threshold=threshold,
         min_seconds=min_seconds,
         include=include,
+        collapse_workers=collapse_workers,
     )

@@ -30,7 +30,7 @@ from pathlib import Path
 
 from repro.errors import GraphFormatError
 from repro.obs.metrics import METRICS_SCHEMA_VERSION, MetricsRegistry
-from repro.obs.trace import TRACE_SCHEMA_VERSION, Tracer
+from repro.obs.trace import TRACE_SCHEMA_VERSION, Span, Tracer
 
 TRACE_SCHEMA = "repro.trace"
 METRICS_SCHEMA = "repro.metrics"
@@ -67,6 +67,35 @@ def trace_records(tracer: Tracer) -> list[dict]:
     for root in tracer.roots:
         emit(root, None, 0)
     return records
+
+
+def spans_from_records(records) -> list[Span]:
+    """Rebuild a :class:`~repro.obs.trace.Span` forest from flat records.
+
+    The inverse of :func:`trace_records` (meta records are skipped, ids
+    are discarded): re-exporting the rebuilt forest reproduces the
+    original records exactly, which is what lets worker-shipped span
+    records graft into the coordinator tracer losslessly (see
+    :mod:`repro.obs.worker`).
+    """
+    roots: list[Span] = []
+    by_id: dict = {}
+    for rec in records:
+        if rec.get("type", "span") != "span":
+            continue
+        sp = Span(
+            name=rec["name"],
+            start=float(rec["start"]),
+            seconds=float(rec["seconds"]),
+            attrs=dict(rec.get("attrs") or {}),
+        )
+        by_id[rec.get("id")] = sp
+        parent = by_id.get(rec.get("parent"))
+        if rec.get("parent") is None or parent is None:
+            roots.append(sp)
+        else:
+            parent.children.append(sp)
+    return roots
 
 
 def write_trace_jsonl(tracer_or_records, path) -> Path:

@@ -1,0 +1,118 @@
+"""Fixed-boundary bucket math and percentile estimation for histograms.
+
+Pure helper layer under :class:`repro.obs.metrics.Histogram`:
+
+* **boundaries** — a strictly increasing tuple of bucket upper bounds
+  (Prometheus ``le`` semantics: observation ``v`` lands in the first
+  bucket with ``v <= boundary``, or the overflow bucket past the last
+  one, so ``bucket_counts`` has ``len(boundaries) + 1`` entries).
+* **percentiles** — :func:`percentile` reproduces NumPy's default
+  ``linear`` interpolation over retained raw samples (the oracle the
+  tests compare against); :func:`bucket_percentile` estimates a
+  quantile from bucket counts alone by linear interpolation inside the
+  covering bucket, used once a histogram has dropped raw samples.
+
+Kept free of NumPy on purpose: this module runs inside fork workers
+where the observation path must stay allocation-light.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left
+from collections.abc import Sequence
+
+from repro.errors import InvalidParameterError
+
+#: Default bucket upper bounds for millisecond latency histograms
+#: (``repro.serve.latency_ms``, ``repro.parallel.task_ms``): log-spaced
+#: 1-2.5-5 decades from 50 µs to 10 s.
+DEFAULT_MS_BOUNDARIES: tuple[float, ...] = (
+    0.05, 0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0, 25.0, 50.0,
+    100.0, 250.0, 500.0, 1000.0, 2500.0, 5000.0, 10000.0,
+)
+
+#: The summary quantiles exported with every histogram snapshot.
+SUMMARY_QUANTILES: tuple[int, ...] = (50, 95, 99)
+
+
+def check_boundaries(boundaries: Sequence[float]) -> tuple[float, ...]:
+    """Validate bucket upper bounds: non-empty, strictly increasing."""
+    bounds = tuple(float(b) for b in boundaries)
+    if not bounds:
+        raise InvalidParameterError("histogram boundaries must be non-empty")
+    for lo, hi in zip(bounds, bounds[1:]):
+        if hi <= lo:
+            raise InvalidParameterError(
+                f"histogram boundaries must be strictly increasing, got {bounds}"
+            )
+    return bounds
+
+
+def bucket_index(boundaries: Sequence[float], v: float) -> int:
+    """Index of the bucket observation ``v`` falls into (``v <= le``).
+
+    Returns ``len(boundaries)`` for the overflow bucket.
+    """
+    return bisect_left(boundaries, v)
+
+
+def _lerp(a: float, b: float, t: float) -> float:
+    # mirrors numpy's _lerp: the symmetric form for t >= 0.5 keeps the
+    # result monotone and bit-compatible with np.percentile(..., 'linear')
+    diff = b - a
+    out = a + diff * t
+    if t >= 0.5:
+        out = b - diff * (1 - t)
+    return out
+
+
+def percentile(sorted_samples: Sequence[float], q: float) -> float:
+    """``q``-th percentile of pre-sorted samples, NumPy 'linear' method."""
+    n = len(sorted_samples)
+    if n == 0:
+        raise InvalidParameterError("percentile of an empty sample set")
+    if not 0 <= q <= 100:
+        raise InvalidParameterError(f"percentile q must be in [0, 100], got {q}")
+    if n == 1:
+        return float(sorted_samples[0])
+    rank = (q / 100.0) * (n - 1)
+    lo = int(rank)
+    frac = rank - lo
+    if frac == 0.0 or lo + 1 >= n:
+        return float(sorted_samples[lo])
+    return _lerp(float(sorted_samples[lo]), float(sorted_samples[lo + 1]), frac)
+
+
+def bucket_percentile(
+    boundaries: Sequence[float],
+    bucket_counts: Sequence[int],
+    q: float,
+    lo_clamp: float,
+    hi_clamp: float,
+) -> float:
+    """Estimate the ``q``-th percentile from bucket counts alone.
+
+    Linear interpolation inside the covering bucket (the Prometheus
+    ``histogram_quantile`` model: observations uniform within a
+    bucket). The first bucket's lower edge and the overflow bucket's
+    upper edge are unknowable from counts, so they clamp to the
+    observed ``lo_clamp``/``hi_clamp`` (min/max).
+    """
+    count = sum(bucket_counts)
+    if count == 0:
+        raise InvalidParameterError("percentile of an empty histogram")
+    target = (q / 100.0) * count
+    cum = 0.0
+    for i, c in enumerate(bucket_counts):
+        if c == 0:
+            continue
+        prev = cum
+        cum += c
+        if cum >= target:
+            lo_edge = boundaries[i - 1] if i > 0 else lo_clamp
+            hi_edge = boundaries[i] if i < len(boundaries) else hi_clamp
+            lo_edge = max(min(lo_edge, hi_clamp), lo_clamp)
+            hi_edge = max(min(hi_edge, hi_clamp), lo_clamp)
+            frac = (target - prev) / c
+            return lo_edge + frac * (hi_edge - lo_edge)
+    return float(hi_clamp)

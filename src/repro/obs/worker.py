@@ -1,0 +1,89 @@
+"""Worker-side telemetry capture and coordinator-side merge.
+
+The process backend forks workers, so the coordinator's ambient tracer
+and metrics registry are invisible inside a task — before this module,
+every in-worker kernel ran as an opaque ``Worker[i]`` timing. The fix
+is an explicit **telemetry envelope** carried home in the task result:
+
+1. :func:`capture_task` (worker side) installs a *fresh* tracer and
+   registry as the ambient pair, opens a root span named after the
+   kernel (attrs: ``pid``), runs the task, and serializes whatever the
+   task recorded — span records, counters, gauges, histograms — into a
+   small picklable dict.
+2. :func:`merge_envelope` (coordinator side, at reduce time) rebuilds
+   the span forest and grafts it under the matching ``Worker[i]`` span,
+   then folds the metrics state into the coordinator registry: counters
+   add (per-worker partials reduce exactly to the serial totals),
+   gauges take the maximum, histograms merge bucket-exactly.
+
+Span ``start`` offsets inside an envelope are relative to the *task's*
+epoch (the worker tracer is constructed at task start), not the
+coordinator's — renderers only use ``seconds`` and nesting, so grafted
+trees display correctly; absolute alignment is intentionally not
+promised across processes.
+
+The same capture/merge pair runs in inline-fallback mode (no fork), so
+traces and metric totals are identical whether or not the platform can
+actually fork.
+"""
+
+from __future__ import annotations
+
+import os
+from collections.abc import Callable
+
+from repro.obs.export import spans_from_records, trace_records
+from repro.obs.metrics import MetricsRegistry, use_registry
+from repro.obs.trace import Span, Tracer, use_tracer
+
+#: Version stamped into every envelope (bump on shape changes).
+WORKER_ENVELOPE_VERSION = 1
+
+
+def capture_task(kernel: str, fn: Callable, args: tuple) -> tuple:
+    """Run ``fn(*args)`` under a fresh ambient tracer + registry.
+
+    Returns ``(result, seconds, envelope)`` where ``seconds`` is the
+    root span's wall-clock and ``envelope`` is the picklable telemetry
+    dict (``version``, ``pid``, ``spans``, ``metrics``). The root span
+    is named ``kernel`` so every task ships at least one in-worker
+    kernel span even when the task body records nothing itself.
+    """
+    tracer = Tracer()
+    registry = MetricsRegistry()
+    with use_tracer(tracer), use_registry(registry):
+        with tracer.span(kernel, pid=os.getpid()) as root:
+            out = fn(*args)
+    envelope = {
+        "version": WORKER_ENVELOPE_VERSION,
+        "pid": os.getpid(),
+        "spans": [r for r in trace_records(tracer) if r["type"] == "span"],
+        "metrics": registry.dump_state(),
+    }
+    return out, root.seconds, envelope
+
+
+def merge_envelope(
+    envelope: dict | None,
+    parent: Span | None,
+    registry: MetricsRegistry | None,
+) -> None:
+    """Adopt one task's envelope into the coordinator's telemetry.
+
+    ``parent`` is the task's ``Worker[i]`` span (the rebuilt in-worker
+    spans become its children and the worker's counter partials are
+    attached as its ``counters`` attr); ``registry`` receives the
+    envelope's metrics state. Either may be ``None`` to skip that half.
+    """
+    if not envelope:
+        return
+    if parent is not None:
+        parent.children.extend(spans_from_records(envelope.get("spans") or ()))
+        pid = envelope.get("pid")
+        if pid is not None:
+            parent.attrs.setdefault("pid", pid)
+        counters = (envelope.get("metrics") or {}).get("counters") or {}
+        if counters:
+            parent.attrs["counters"] = dict(counters)
+    if registry is not None:
+        registry.merge_state(envelope.get("metrics") or {})

@@ -128,6 +128,15 @@ def get_backend(name: str) -> "Backend":
         ) from None
 
 
+def backend_name(backend: "Backend | str | None") -> str:
+    """Canonical name of a backend instance (or name) for provenance."""
+    if backend is None:
+        return "serial"
+    if isinstance(backend, str):
+        return backend
+    return getattr(backend, "name", type(backend).__name__)
+
+
 def close_backend(backend: "Backend | None") -> None:
     """Release a backend's pools, if it owns any."""
     close = getattr(backend, "close", None)

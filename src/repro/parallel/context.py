@@ -35,6 +35,7 @@ from repro.errors import InvalidParameterError
 from repro.parallel.backends import (
     SerialBackend,
     ThreadBackend,
+    backend_name,
     close_backend,
     get_backend,
 )
@@ -282,6 +283,22 @@ class ExecutionContext:
         """The backend's :class:`~repro.parallel.shm.SharedArrayPool`,
         or ``None`` for backends without shared memory."""
         return getattr(self.backend, "pool", None)
+
+    def provenance(self) -> dict:
+        """Execution facts for a run manifest (JSON-serializable).
+
+        Captures the backend name, worker count, dtype policy, and the
+        run's peak workspace / shared-memory bytes — the execution block
+        of :func:`repro.obs.manifest.collect_manifest`.
+        """
+        pool = self.shared_pool
+        return {
+            "backend": backend_name(self.backend),
+            "num_workers": self.num_workers,
+            "dtype_policy": self.dtype.name,
+            "ws_peak": int(self.workspace.high_water),
+            "shm_high_water": int(pool.high_water) if pool is not None else 0,
+        }
 
     # ------------------------------------------------------------------
     # Lifecycle

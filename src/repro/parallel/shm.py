@@ -39,7 +39,6 @@ from __future__ import annotations
 import multiprocessing as mp
 import re
 import secrets
-import time
 import warnings
 from collections.abc import Callable, Sequence
 from dataclasses import dataclass
@@ -63,6 +62,8 @@ from repro.analysis.races import (
 )
 from repro.errors import BackendError
 from repro.obs import metrics
+from repro.obs.histogram import DEFAULT_MS_BOUNDARIES
+from repro.obs.worker import capture_task, merge_envelope
 from repro.utils.validation import check_positive
 
 #: Default minimum number of items before a kernel pays the task
@@ -280,25 +281,30 @@ def process_backend_available() -> bool:
 
 
 def _timed_task(
-    fn: Callable, args: tuple
-) -> tuple[object, float, AccessLog | None]:
-    """Worker-side wrapper: run ``fn(*args)``, report seconds + accesses.
+    fn: Callable, args: tuple, kernel: str = "Task"
+) -> tuple[object, float, AccessLog | None, dict]:
+    """Worker-side wrapper: run ``fn(*args)`` under telemetry capture.
 
-    The third element is this task's shared-segment access log when race
-    tracking is on (see :mod:`repro.analysis.races`) and ``None``
-    otherwise. The log is drained *before* the task runs so accesses
-    from earlier coordinator work (inline-fallback mode) are never
-    attributed to this task.
+    Returns ``(result, seconds, access_log, envelope)``. The access log
+    is this task's shared-segment accesses when race tracking is on
+    (see :mod:`repro.analysis.races`) and ``None`` otherwise; it is
+    drained *before* the task runs so accesses from earlier coordinator
+    work (inline-fallback mode) are never attributed to this task. The
+    envelope is the in-worker spans + metrics record of
+    :func:`repro.obs.worker.capture_task`, rooted at a span named
+    ``kernel``.
     """
     if not tracking_enabled():
-        t0 = time.perf_counter()
-        out = fn(*args)
-        return out, time.perf_counter() - t0, None
+        out, seconds, envelope = capture_task(kernel, fn, args)
+        return out, seconds, None, envelope
     drain_log()
-    t0 = time.perf_counter()
-    out = fn(*args)
-    seconds = time.perf_counter() - t0
-    return out, seconds, drain_log()
+    out, seconds, envelope = capture_task(kernel, fn, args)
+    return out, seconds, drain_log(), envelope
+
+
+def _task_shared_bytes(args: tuple) -> int:
+    """Total bytes of the shared segments a task's arguments reference."""
+    return sum(a.nbytes for a in args if isinstance(a, SharedHandle))
 
 
 # ----------------------------------------------------------------------
@@ -381,28 +387,40 @@ class ProcessBackend:
         ctx: "ExecutionContext | None" = None,
         label: str = "Worker",
         work: Sequence[int] | None = None,
+        kernel: str | None = None,
     ) -> list:
         """Run ``fn(*task)`` per task on the pool; results in task order.
 
         ``fn`` must be a module-level function (pickled by reference);
         handle arguments resolve via :func:`attach` on the worker side.
-        Per-task ``Worker[i]`` child spans (seconds, work, pid) are
-        recorded under the currently open region of ``ctx`` and the
-        max/mean load imbalance is attached to that region. Worker
-        exceptions propagate with the remote traceback chained; the pool
-        survives ordinary task failures.
+        Every task runs under :func:`repro.obs.worker.capture_task`, so
+        its in-worker spans and metrics come home in the result
+        envelope. Per-task ``Worker[i]`` spans — stable attrs
+        ``worker_id``, ``n_tasks``, ``bytes_touched`` (shared segment
+        bytes the task's handles reference), plus ``work`` and the
+        worker ``pid`` — are recorded under the currently open region of
+        ``ctx``, each holding the task's in-worker span tree as
+        children; the max/mean load imbalance is attached to that
+        region. ``kernel`` names the in-worker root span (defaults to
+        the worker function's name). Worker counters are folded into the
+        active registry, so per-worker partial counts reduce exactly to
+        the serial totals. Worker exceptions propagate with the remote
+        traceback chained; the pool survives ordinary task failures.
         """
         if not tasks:
             return []
+        kernel = kernel or getattr(fn, "__name__", "task").lstrip("_")
         executor = self._ensure_executor(max(len(tasks), 1))
         if executor is None:
             self._warn_fallback("fork or POSIX shared memory missing")
-            timed = [_timed_task(fn, args) for args in tasks]
+            timed = [_timed_task(fn, args, kernel) for args in tasks]
         else:
             from concurrent.futures.process import BrokenProcessPool
 
             try:
-                futures = [executor.submit(_timed_task, fn, args) for args in tasks]
+                futures = [
+                    executor.submit(_timed_task, fn, args, kernel) for args in tasks
+                ]
                 timed = [f.result() for f in futures]
             except BrokenProcessPool:  # pragma: no cover - hard worker death
                 # a worker died mid-task (segfault, os._exit); drop the
@@ -415,25 +433,39 @@ class ProcessBackend:
                 for f in futures:
                     f.cancel()
                 raise
-        results = [r for r, _, _ in timed]
-        seconds = [s for _, s, _ in timed]
-        accesses = [a for _, _, a in timed]
+        results = [r for r, _, _, _ in timed]
+        seconds = [s for _, s, _, _ in timed]
+        accesses = [a for _, _, a, _ in timed]
+        envelopes = [e for _, _, _, e in timed]
         if any(accesses):
             verify_task_accesses(accesses, label=label)
+        registry = metrics.get_registry()
         if ctx is not None and seconds:
             mean = sum(seconds) / len(seconds)
             imbalance = (max(seconds) / mean) if mean > 0 else 1.0
             for i, s in enumerate(seconds):
-                attrs = {"wid": i}
+                attrs = {
+                    "worker_id": i,
+                    "n_tasks": len(tasks),
+                    "bytes_touched": _task_shared_bytes(tasks[i]),
+                }
                 if work is not None:
                     attrs["work"] = int(work[i])
-                ctx.tracer.add(f"{label}[{i}]", s, **attrs)
+                sp = ctx.tracer.add(f"{label}[{i}]", s, **attrs)
+                merge_envelope(envelopes[i], sp, registry)
             annotate = getattr(ctx, "annotate", None)
             if annotate is not None:
                 annotate(
                     workers=len(tasks),
                     imbalance=round(float(imbalance), 4),
                 )
+        else:
+            for envelope in envelopes:
+                merge_envelope(envelope, None, registry)
+        for s in seconds:
+            metrics.observe(
+                "repro.parallel.task_ms", s * 1000.0, boundaries=DEFAULT_MS_BOUNDARIES
+            )
         metrics.inc("repro.parallel.process_tasks", len(tasks))
         return results
 

@@ -30,6 +30,7 @@ from repro.community.model import Community, canonical_order
 from repro.equitruss.index import EquiTrussIndex
 from repro.errors import InvalidParameterError
 from repro.obs import metrics
+from repro.obs.histogram import DEFAULT_MS_BOUNDARIES
 from repro.parallel.context import ExecutionContext
 from repro.serve.cache import QueryCache
 from repro.serve.components import LevelComponents
@@ -108,8 +109,12 @@ class QueryEngine:
         else:
             communities = self._resolve(vertex, k, None)
         self.cache.put(key, communities)
+        elapsed = time.perf_counter() - t0
         metrics.inc("repro.serve.queries")
-        metrics.observe("repro.serve.latency_seconds", time.perf_counter() - t0)
+        metrics.observe("repro.serve.latency_seconds", elapsed)
+        metrics.observe(
+            "repro.serve.latency_ms", elapsed * 1000.0, boundaries=DEFAULT_MS_BOUNDARIES
+        )
         return communities
 
     def _resolve(self, vertex: int, k: int, handle) -> list[Community]:
@@ -165,9 +170,15 @@ class QueryEngine:
                 self._resolve_batch(vs, k, misses, results)
             for i in misses:
                 self.cache.put((int(vs[i]), int(k)), results[i])
+        elapsed = time.perf_counter() - t0
         metrics.inc("repro.serve.queries", len(misses))
         metrics.inc("repro.serve.batch_requests", int(vs.size))
-        metrics.observe("repro.serve.batch_latency_seconds", time.perf_counter() - t0)
+        metrics.observe("repro.serve.batch_latency_seconds", elapsed)
+        metrics.observe(
+            "repro.serve.batch_latency_ms",
+            elapsed * 1000.0,
+            boundaries=DEFAULT_MS_BOUNDARIES,
+        )
         return results  # type: ignore[return-value]
 
     def _resolve_batch(

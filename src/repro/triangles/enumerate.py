@@ -268,6 +268,7 @@ def _enumerate_process(
             ctx=ctx,
             label="Worker",
             work=[hi - lo for lo, hi in ranges],
+            kernel="Enumerate",
         )
         for uv_h, uw_h, vw_h in results:
             parts_uv.append(import_array(uv_h))

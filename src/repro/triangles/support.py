@@ -26,6 +26,9 @@ def _w_support_partial(uv_h, uw_h, vw_h, lo: int, hi: int, m: int, out_h, row: i
     for h in (uv_h, uw_h, vw_h):
         arr = attach(h)
         acc += np.bincount(arr[lo:hi], minlength=m)
+    # worker-attributed partial: summed across tasks this equals the
+    # serial path's 3 * triangles.count exactly
+    metrics.inc("repro.triangles.support_updates", 3 * (hi - lo))
     return hi - lo
 
 
@@ -43,6 +46,7 @@ def parallel_support(
 
     backend = active_process_backend(ctx, triangles.count)
     if backend is None:
+        metrics.inc("repro.triangles.support_updates", 3 * triangles.count)
         return triangles.support(dtype=dtype)
     m = triangles.num_edges
     pool = backend.pool
@@ -64,6 +68,7 @@ def parallel_support(
         tasks,
         ctx=ctx,
         work=[hi - lo for lo, hi in ranges],
+        kernel="Support",
     )
     reduced = partials.sum(axis=0)
     return reduced.astype(dtype, copy=False) if dtype is not None else reduced

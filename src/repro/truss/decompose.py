@@ -123,6 +123,9 @@ def _w_decrement_partial(sides_h, lo: int, hi: int, m: int, out_h, row: int):
     sides = attach(sides_h)
     out = attach(out_h)
     np.copyto(out[row], np.bincount(sides[lo:hi], minlength=m))
+    # worker-attributed partial: summed across tasks this equals the
+    # serial path's sides.size exactly
+    metrics.inc("repro.truss.support_decrements", hi - lo)
     return hi - lo
 
 
@@ -169,6 +172,7 @@ class _SharedPeelState:
             [(self.sup_h, self.alive_h, lo, hi, bound, self.frontier_h) for lo, hi in ranges],
             ctx=self.ctx,
             work=[hi - lo for lo, hi in ranges],
+            kernel="FrontierScan",
         )
         out = self.frontier
         return np.concatenate(
@@ -178,6 +182,7 @@ class _SharedPeelState:
     def decrement(self, sides: np.ndarray) -> None:
         """``sup -= bincount(sides)`` via privatized partial rows."""
         if sides.size < self.backend.min_items:
+            metrics.inc("repro.truss.support_decrements", sides.size)
             self.sup -= np.bincount(sides, minlength=self.m)
             return
         pool = self.backend.pool
@@ -189,6 +194,7 @@ class _SharedPeelState:
             [(sides_h, lo, hi, self.m, out_h, row) for row, (lo, hi) in enumerate(ranges)],
             ctx=self.ctx,
             work=[hi - lo for lo, hi in ranges],
+            kernel="SupportDecrement",
         )
         self.sup -= partials.sum(axis=0)
 
@@ -281,6 +287,7 @@ def truss_decomposition(
                         if shared is not None:
                             shared.decrement(sides)
                         else:
+                            metrics.inc("repro.truss.support_decrements", sides.size)
                             sup -= np.bincount(sides, minlength=m)
                 frontier = scan(k - 2)
             k += 1

@@ -12,7 +12,9 @@ import pytest
 from repro.cli import main
 from repro.equitruss.kernels import KERNELS
 from repro.obs.diff import diff_trace_files
-from repro.obs.export import read_metrics_json, read_trace_jsonl
+from repro.obs.export import read_metrics_json, read_trace_jsonl, write_trace_jsonl
+from repro.obs.exporter import read_metrics_jsonl
+from repro.obs.manifest import read_manifest
 
 
 @pytest.fixture(scope="module")
@@ -72,3 +74,50 @@ def test_info_trace_prints_breakdown(run_artifacts, capsys):
 def test_info_without_file_or_trace_errors(capsys):
     assert main(["info"]) == 2
     assert "required" in capsys.readouterr().err
+
+
+def test_info_trace_degrades_gracefully_on_empty_file(tmp_path, capsys):
+    empty = tmp_path / "empty.jsonl"
+    empty.write_text("", encoding="utf-8")
+    assert main(["info", "--trace", str(empty), "--flame"]) == 0
+    assert "empty trace" in capsys.readouterr().out
+
+
+def test_info_trace_degrades_gracefully_on_span_free_file(tmp_path, capsys):
+    from repro.obs.trace import Tracer
+
+    trace = tmp_path / "spanless.jsonl"
+    write_trace_jsonl(Tracer(), trace)  # meta line only, zero spans
+    assert main(["info", "--trace", str(trace), "--flame"]) == 0
+    assert "no spans" in capsys.readouterr().out
+
+
+def test_index_writes_prometheus_and_manifest(tmp_path):
+    graph = tmp_path / "g.npz"
+    assert main(["generate", "gnm", "--n", "60", "--m", "240",
+                 "--seed", "1", "--out", str(graph)]) == 0
+    trace = tmp_path / "t.jsonl"
+    prom = tmp_path / "metrics.prom"
+    assert main(["index", str(graph), "--out", str(tmp_path / "i.npz"),
+                 "--trace-out", str(trace), "--prom-out", str(prom)]) == 0
+    text = prom.read_text(encoding="utf-8")
+    assert "# TYPE repro_pipeline_builds counter" in text
+    assert "repro_pipeline_builds 1" in text
+    # the manifest is written automatically next to the trace
+    manifest = read_manifest(f"{trace}.manifest.json")
+    assert manifest["dataset"]["name"] == str(graph)
+    assert manifest["execution"]["backend"] == "serial"
+    assert manifest["extra"]["command"] == "index"
+
+
+def test_index_env_driven_metrics_stream(tmp_path, monkeypatch):
+    graph = tmp_path / "g.npz"
+    assert main(["generate", "gnm", "--n", "40", "--m", "160",
+                 "--seed", "2", "--out", str(graph)]) == 0
+    stream = tmp_path / "stream.jsonl"
+    monkeypatch.setenv("REPRO_METRICS_INTERVAL", "60")
+    monkeypatch.setenv("REPRO_METRICS_PATH", str(stream))
+    assert main(["index", str(graph), "--out", str(tmp_path / "i.npz")]) == 0
+    records = read_metrics_jsonl(stream)
+    assert len(records) >= 1  # stop() always flushes a final snapshot
+    assert records[-1]["metrics"]["repro.pipeline.builds"] == 1

@@ -1,0 +1,99 @@
+"""Histogram bucket/percentile math against a NumPy oracle."""
+
+import numpy as np
+import pytest
+
+from repro.errors import InvalidParameterError
+from repro.obs.histogram import (
+    DEFAULT_MS_BOUNDARIES,
+    bucket_index,
+    bucket_percentile,
+    check_boundaries,
+    percentile,
+)
+from repro.obs.metrics import MetricsRegistry
+
+
+def test_default_boundaries_are_valid():
+    assert check_boundaries(DEFAULT_MS_BOUNDARIES) == DEFAULT_MS_BOUNDARIES
+    assert list(DEFAULT_MS_BOUNDARIES) == sorted(DEFAULT_MS_BOUNDARIES)
+
+
+def test_check_boundaries_rejects_bad_input():
+    with pytest.raises(InvalidParameterError):
+        check_boundaries(())
+    with pytest.raises(InvalidParameterError):
+        check_boundaries((1.0, 1.0))
+    with pytest.raises(InvalidParameterError):
+        check_boundaries((2.0, 1.0))
+
+
+def test_bucket_index_le_semantics():
+    bounds = (1.0, 5.0, 10.0)
+    # Prometheus buckets are cumulative "le": a value lands in the first
+    # bucket whose boundary is >= the value
+    assert bucket_index(bounds, 0.5) == 0
+    assert bucket_index(bounds, 1.0) == 0
+    assert bucket_index(bounds, 1.0001) == 1
+    assert bucket_index(bounds, 5.0) == 1
+    assert bucket_index(bounds, 10.0) == 2
+    assert bucket_index(bounds, 99.0) == 3  # overflow (+Inf) bucket
+
+
+@pytest.mark.parametrize("q", [0, 1, 25, 50, 75, 95, 99, 100])
+@pytest.mark.parametrize(
+    "samples",
+    [
+        [3.0],
+        [1.0, 2.0, 9.0],
+        [0.1, 0.1, 0.1, 0.1],
+        list(np.linspace(0.5, 120.0, 37)),
+        list(np.random.default_rng(6).lognormal(1.0, 2.0, size=101)),
+    ],
+)
+def test_percentile_matches_numpy_oracle(samples, q):
+    """The exact-samples path must reproduce np.percentile bit for bit."""
+    sorted_samples = sorted(float(s) for s in samples)
+    ours = percentile(sorted_samples, q)
+    oracle = float(np.percentile(np.array(sorted_samples), q))
+    assert ours == oracle
+
+
+def test_histogram_summary_matches_numpy_oracle():
+    """End-to-end: registry histogram p50/p95/p99 == np.percentile."""
+    rng = np.random.default_rng(42)
+    samples = [float(v) for v in rng.exponential(5.0, size=200)]
+    reg = MetricsRegistry()
+    h = reg.histogram("repro.test.latency")
+    for v in samples:
+        h.observe(v)
+    value = h.as_value()
+    arr = np.array(samples)
+    for q in (50, 95, 99):
+        assert value[f"p{q}"] == float(np.percentile(arr, q))
+
+
+def test_bucket_percentile_interpolates_and_clamps():
+    bounds = (1.0, 2.0, 4.0)
+    # 10 observations in (1, 2], none elsewhere
+    counts = [0, 10, 0, 0]
+    p = bucket_percentile(bounds, counts, 50, lo_clamp=1.0, hi_clamp=2.0)
+    assert 1.0 <= p <= 2.0
+    # clamping: the estimate never leaves the observed [min, max] range
+    assert bucket_percentile(bounds, counts, 0, lo_clamp=1.3, hi_clamp=1.8) == 1.3
+    assert bucket_percentile(bounds, counts, 100, lo_clamp=1.3, hi_clamp=1.8) == 1.8
+    with pytest.raises(InvalidParameterError):
+        bucket_percentile(bounds, [0, 0, 0, 0], 50, lo_clamp=0.0, hi_clamp=0.0)
+
+
+def test_histogram_switches_to_bucket_estimate_after_sample_cap():
+    reg = MetricsRegistry()
+    h = reg.histogram("repro.test.capped_buckets", boundaries=(1.0, 10.0, 100.0))
+    h.keep = 8
+    for v in [2.0] * 50:
+        h.observe(v)
+    # raw samples overflowed the cap: percentile comes from the buckets
+    p50 = h.percentile(50)
+    assert p50 is not None
+    assert 1.0 <= p50 <= 10.0
+    assert h.bucket_counts == [0, 50, 0, 0]

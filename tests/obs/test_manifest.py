@@ -1,0 +1,112 @@
+"""Run-provenance manifests: collect, validate, round-trip, attach."""
+
+import pytest
+
+from repro.errors import GraphFormatError
+from repro.graph.csr import CSRGraph
+from repro.graph.generators import paper_example_graph
+from repro.obs.manifest import (
+    MANIFEST_SCHEMA,
+    MANIFEST_SCHEMA_VERSION,
+    collect_manifest,
+    dataset_fingerprint,
+    read_manifest,
+    validate_manifest,
+    write_manifest,
+)
+from repro.parallel.context import ExecutionContext
+
+
+def test_collect_manifest_minimal_shape():
+    doc = collect_manifest()
+    validate_manifest(doc)
+    assert doc["schema"] == MANIFEST_SCHEMA
+    assert doc["version"] == MANIFEST_SCHEMA_VERSION
+    assert doc["execution"] is None
+    assert doc["dataset"] is None
+    assert doc["host"]["cpu_count"] >= 1
+    versions = doc["schema_versions"]
+    assert set(versions) == {"trace", "metrics", "manifest", "snapshot"}
+
+
+def test_collect_manifest_with_context_and_graph():
+    g = CSRGraph.from_edgelist(paper_example_graph())
+    ctx = ExecutionContext(backend="serial", num_workers=1)
+    ctx.workspace.take("probe", 128, "int64")  # leave a high-water mark
+    doc = collect_manifest(
+        ctx=ctx, graph=g, dataset="fig3", extra={"experiment": "unit"}
+    )
+    validate_manifest(doc)
+    ex = doc["execution"]
+    assert ex["backend"] == "serial"
+    assert ex["num_workers"] == 1
+    assert ex["dtype_policy"] == "auto"
+    assert ex["ws_peak"] >= 128 * 8
+    assert ex["shm_high_water"] == 0
+    ds = doc["dataset"]
+    assert ds["name"] == "fig3"
+    assert ds["vertices"] == g.num_vertices
+    assert ds["edges"] == g.num_edges
+    assert len(ds["sha256"]) == 64
+    assert doc["extra"]["experiment"] == "unit"
+
+
+def test_dataset_fingerprint_is_content_based():
+    g1 = CSRGraph.from_edgelist(paper_example_graph())
+    g2 = CSRGraph.from_edgelist(paper_example_graph())
+    assert dataset_fingerprint(g1)["sha256"] == dataset_fingerprint(g2)["sha256"]
+    # an edge list fingerprinted directly matches its graph's fingerprint
+    e = paper_example_graph()
+    assert dataset_fingerprint(e)["edges"] == g1.num_edges
+
+
+def test_manifest_round_trip(tmp_path):
+    doc = collect_manifest(extra={"note": "rt"})
+    path = write_manifest(doc, tmp_path / "run.manifest.json")
+    loaded = read_manifest(path)
+    assert loaded == doc
+
+
+def test_validate_manifest_rejects_malformed():
+    with pytest.raises(GraphFormatError):
+        validate_manifest({"schema": "something.else"})
+    doc = collect_manifest()
+    doc["version"] = 99
+    with pytest.raises(GraphFormatError):
+        validate_manifest(doc)
+    doc = collect_manifest()
+    del doc["schema_versions"]["trace"]
+    with pytest.raises(GraphFormatError):
+        validate_manifest(doc)
+
+
+def test_read_manifest_rejects_bad_json(tmp_path):
+    p = tmp_path / "bad.json"
+    p.write_text("{not json", encoding="utf-8")
+    with pytest.raises(GraphFormatError):
+        read_manifest(p)
+
+
+def test_snapshot_attach_manifest(tmp_path):
+    from repro.bench.snapshot import PerfSnapshot, load_snapshot
+
+    snap = PerfSnapshot("unit", path=tmp_path / "BENCH_unit.json")
+    snap.add_run("exp", "fig3", "afforest", "serial", 1, 0.1)
+    snap.attach_manifest(collect_manifest())
+    path = snap.write()
+    doc = load_snapshot(path)
+    assert doc["manifest"]["schema"] == MANIFEST_SCHEMA
+    # reloading the snapshot keeps the manifest
+    snap2 = PerfSnapshot("unit", path=path)
+    assert snap2.doc["manifest"]["schema"] == MANIFEST_SCHEMA
+    with pytest.raises(GraphFormatError):
+        snap.attach_manifest({"schema": "nope"})
+
+
+def test_snapshot_validation_rejects_bad_manifest(tmp_path):
+    from repro.bench.snapshot import PerfSnapshot, validate_snapshot
+
+    snap = PerfSnapshot("unit2", path=tmp_path / "BENCH_unit2.json")
+    snap.doc["manifest"] = {"schema": "wrong"}
+    with pytest.raises(ValueError):
+        validate_snapshot(snap.doc)

@@ -43,7 +43,15 @@ def test_histogram_summary():
     for v in (1, 2, 9):
         h.observe(v)
     summary = h.as_value()
-    assert summary == {"count": 3, "sum": 12, "min": 1, "max": 9, "mean": 4.0}
+    assert summary["count"] == 3
+    assert summary["sum"] == 12
+    assert summary["min"] == 1
+    assert summary["max"] == 9
+    assert summary["mean"] == 4.0
+    # p-quantiles use NumPy's 'linear' interpolation over the samples
+    assert summary["p50"] == 2.0
+    assert summary["p95"] == pytest.approx(8.3)
+    assert summary["p99"] == pytest.approx(8.86)
     assert h.samples == [1, 2, 9]
 
 

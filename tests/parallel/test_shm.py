@@ -229,6 +229,15 @@ def test_map_tasks_records_worker_spans():
         spans = [s for s, _ in ctx.tracer.walk() if s.name.startswith("Worker[")]
         assert [s.name for s in spans] == ["Worker[0]", "Worker[1]"]
         assert all(s.attrs.get("work") == 50 for s in spans)
+        # stable per-worker attribution attrs (the diff/report keying)
+        assert [s.attrs.get("worker_id") for s in spans] == [0, 1]
+        assert all(s.attrs.get("n_tasks") == 2 for s in spans)
+        assert all(s.attrs.get("bytes_touched") == data.nbytes for s in spans)
+        assert all(s.attrs.get("pid") not in (None, os.getpid()) for s in spans)
+        # each worker span carries the kernel span recorded in-process
+        assert all(
+            [c.name for c in s.children] == ["sum_range"] for s in spans
+        )
         demo = next(s for s, _ in ctx.tracer.walk() if s.name == "Demo")
         assert demo.attrs.get("workers") == 2
         assert demo.attrs.get("imbalance") >= 1.0
