@@ -43,7 +43,7 @@ from repro.analysis.engine import Finding, ModuleInfo, ProjectIndex
 
 #: Packages whose public functions are kernel entry points (REP003/REP005).
 KERNEL_PACKAGES = frozenset(
-    {"graph", "triangles", "truss", "cc", "equitruss", "serve"}
+    {"graph", "triangles", "truss", "cc", "equitruss", "serve", "store"}
 )
 
 #: Packages additionally scanned for unguarded key arithmetic (REP005).

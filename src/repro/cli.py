@@ -96,11 +96,20 @@ def _cmd_index(args: argparse.Namespace) -> int:
     emitter = emitter_from_env()  # REPRO_METRICS_INTERVAL/_PATH opt-in
     if emitter is not None:
         emitter.start()
-    result = build_index(graph, variant=args.variant, ctx=ctx)
+    result = build_index(
+        graph, variant=args.variant, ctx=ctx,
+        store_path=args.store_out, store_generation=args.store_generation,
+    )
     index = result.index
     index.validate()
     index.save(args.out)
     stats = index.stats()
+    if result.store_path is not None:
+        size = Path(result.store_path).stat().st_size
+        print(
+            f"wrote store (gen {args.store_generation}, "
+            f"{format_bytes(size)}) -> {result.store_path}"
+        )
     log.info(kv("build_index", variant=args.variant, seconds=f"{result.seconds:.4f}",
                 supernodes=stats["num_supernodes"],
                 superedges=stats["num_superedges"]))
@@ -277,6 +286,90 @@ def _cmd_query(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_attach(args: argparse.Namespace) -> int:
+    """mmap-attach a store and (optionally) serve queries from it."""
+    from repro.errors import StoreError
+    from repro.obs.report import format_bytes
+    from repro.store import attach_store
+
+    ctx = _make_context(args)
+    try:
+        store = attach_store(args.store, verify=args.verify, ctx=ctx)
+    except StoreError as exc:
+        print(f"FAILED: {exc}", file=sys.stderr)
+        return 1
+    tables = "stored component tables" if store.components is not None \
+        else "no component tables (sweep on demand)"
+    print(
+        f"attached {args.store} in {store.attach_ms:.2f} ms "
+        f"(gen {store.generation}, {format_bytes(store.bytes_mapped)} mapped, "
+        f"{tables})"
+    )
+    if args.refresh:
+        report = store.refresh()
+        what = "re-attached after swap" if report.swapped else \
+            f"replayed {report.applied} journal entries"
+        print(f"refresh: {what} (gen {report.generation})")
+    else:
+        lag = store.pending_updates()
+        if lag:
+            print(f"journal lag: {lag} unapplied update batches (--refresh applies)")
+    if args.vertex is not None:
+        if args.k is None:
+            print("--vertex requires --k", file=sys.stderr)
+            store.close()
+            ctx.close()
+            return 2
+        engine = store.engine()
+        communities = engine.query(args.vertex, args.k)
+        _print_communities(communities, f"vertex {args.vertex}")
+    ctx.close()  # releases the mapping via the registered closer
+    return 0
+
+
+def _cmd_store(args: argparse.Namespace) -> int:
+    """Inspect / verify a store file without serving from it."""
+    import json
+
+    from repro.errors import StoreError
+    from repro.store import inspect_store, verify_store
+
+    try:
+        if args.store_command == "verify":
+            report = verify_store(args.store)
+            print(
+                f"OK: {report['sections']} sections, "
+                f"{report['payload_bytes']} payload bytes, "
+                f"generation {report['generation']}, checksums + fingerprint match"
+            )
+            return 0
+        info = inspect_store(args.store)
+        if args.json:
+            print(json.dumps(info, indent=2, sort_keys=True))
+            return 0
+        print(f"store {info['path']} (format v{info['format_version']})")
+        print(
+            f"  generation {info['generation']}, "
+            f"{info['num_vertices']} vertices / {info['num_edges']} edges, "
+            f"dataset sha256 {info['dataset_sha256'][:12]}…"
+        )
+        print(
+            f"  payload {info['payload_bytes']} bytes in "
+            f"{len(info['sections'])} sections, components="
+            f"{'yes' if info['has_components'] else 'no'}, "
+            f"git {info['git_sha'] or 'unknown'}"
+        )
+        for name, entry in info["sections"].items():
+            print(
+                f"    {name:<28} {entry['dtype']:<5} "
+                f"shape={entry['shape']} ({entry['nbytes']} bytes)"
+            )
+        return 0
+    except StoreError as exc:
+        print(f"FAILED: {exc}", file=sys.stderr)
+        return 1
+
+
 def _cmd_info(args: argparse.Namespace) -> int:
     if args.trace:
         from repro.equitruss.kernels import KERNELS, TRUSS_DECOMP
@@ -418,7 +511,43 @@ def build_parser() -> argparse.ArgumentParser:
     idx.add_argument("--manifest-out", default=None, metavar="PATH",
                      help="write a run-provenance manifest (defaults to "
                           "<trace-out>.manifest.json when --trace-out is given)")
+    idx.add_argument("--store-out", default=None, metavar="PATH",
+                     help="also persist a binary mmap-attach store (atomic "
+                          "swap; includes the precomputed serving tables)")
+    idx.add_argument("--store-generation", type=int, default=1,
+                     help="journal epoch of the store artifact (bump past "
+                          "absorbed journal entries when swapping a live store)")
     idx.set_defaults(func=_cmd_index)
+
+    att = sub.add_parser(
+        "attach",
+        help="mmap-attach a persisted store and serve queries in milliseconds",
+    )
+    att.add_argument("store", help="store file from index --store-out")
+    att.add_argument("--vertex", type=int, default=None)
+    att.add_argument("--k", type=int, default=None)
+    att.add_argument("--verify", action="store_true",
+                     help="check every section checksum before serving")
+    att.add_argument("--refresh", action="store_true",
+                     help="replay journal entries / re-attach after a swap "
+                          "before answering")
+    add_context_flags(att)
+    att.set_defaults(func=_cmd_attach)
+
+    st = sub.add_parser("store", help="inspect or verify a persisted store file")
+    st_sub = st.add_subparsers(dest="store_command", required=True)
+    st_inspect = st_sub.add_parser(
+        "inspect", help="print the header: generation, sections, provenance"
+    )
+    st_inspect.add_argument("store")
+    st_inspect.add_argument("--json", action="store_true",
+                            help="machine-readable header dump")
+    st_inspect.set_defaults(func=_cmd_store)
+    st_verify = st_sub.add_parser(
+        "verify", help="full integrity check: section checksums + fingerprint"
+    )
+    st_verify.add_argument("store")
+    st_verify.set_defaults(func=_cmd_store)
 
     q = sub.add_parser("query", help="local community search from a saved index")
     q.add_argument("index", help="index .npz from the index subcommand")

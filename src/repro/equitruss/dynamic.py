@@ -65,18 +65,54 @@ class UpdateStats:
 
 
 class DynamicEquiTruss:
-    """An EquiTruss index that stays correct under edge updates."""
+    """An EquiTruss index that stays correct under edge updates.
 
-    def __init__(self, graph: CSRGraph, variant: str = "afforest") -> None:
+    ``triangles``/``trussness``/``index`` may seed the instance from
+    already-computed state (the store's journal-replay path builds one
+    over an attached, read-only index without re-peeling the graph);
+    when omitted they are computed from scratch. A seeded ``trussness``
+    is copied into a private writable array.
+    """
+
+    def __init__(
+        self,
+        graph: CSRGraph,
+        variant: str = "afforest",
+        *,
+        triangles: TriangleSet | None = None,
+        trussness: np.ndarray | None = None,
+        index: EquiTrussIndex | None = None,
+    ) -> None:
         self.variant = variant
         self.graph = graph
-        self.triangles = enumerate_triangles(graph)
-        decomp = truss_decomposition(graph, triangles=self.triangles)
-        self.trussness = decomp.trussness.copy()
+        self.triangles = (
+            triangles if triangles is not None else enumerate_triangles(graph)
+        )
+        if trussness is None:
+            decomp = truss_decomposition(graph, triangles=self.triangles)
+            trussness = decomp.trussness
+        self.trussness = np.array(trussness, dtype=np.int64)
         self._tri_comp = self._triangle_components()
-        self.index = self._rebuild_index()
+        self.index = index if index is not None else self._rebuild_index()
         self.last_update: UpdateStats | None = None
         self._invalidation_hooks: list = []
+        self._journal = None
+
+    # ------------------------------------------------------------------
+    def publish_to(self, journal) -> None:
+        """Mirror every update batch into a store journal.
+
+        ``journal`` is a :class:`~repro.store.journal.StoreJournal`;
+        after registration each ``insert_edges``/``remove_edges`` batch
+        is durably appended (with its generation number) before the
+        update returns, so attached readers of the companion store file
+        can replay exactly the deltas this instance applied.
+        """
+        self._journal = journal
+
+    def _publish(self, op: str, us: np.ndarray, vs: np.ndarray) -> None:
+        if self._journal is not None:
+            self._journal.append(op, us, vs)
 
     # ------------------------------------------------------------------
     def add_invalidation_hook(self, hook) -> None:
@@ -196,6 +232,7 @@ class DynamicEquiTruss:
             affected_edges=int(affected.sum()),
             total_edges=new_edges.num_edges,
         )
+        self._publish("insert", us, vs)
         self._notify_invalidation()
         return self.last_update
 
@@ -250,6 +287,7 @@ class DynamicEquiTruss:
             affected_edges=int(affected.sum()),
             total_edges=new_edges.num_edges,
         )
+        self._publish("remove", us, vs)
         self._notify_invalidation()
         return self.last_update
 

@@ -20,6 +20,22 @@ from repro.graph.csr import CSRGraph
 from repro.graph.edgelist import EdgeList
 
 
+def _as_int64(arr: np.ndarray) -> np.ndarray:
+    """``arr`` as contiguous int64 — aliasing, never copying, when the
+    input already satisfies the contract.
+
+    This is the zero-copy guarantee the mmap attach path depends on: a
+    read-only int64 view into a mapped store file must flow into the
+    index *as that view* so N attached processes share one page-cache
+    copy. Only dtype or layout mismatches (legacy callers passing
+    int32 or strided arrays) pay for a conversion.
+    """
+    a = np.asarray(arr)
+    if a.dtype == np.int64 and a.flags["C_CONTIGUOUS"]:
+        return a
+    return np.ascontiguousarray(a, dtype=np.int64)
+
+
 class EquiTrussIndex:
     """Summary graph: supernodes (edge groups) + superedges.
 
@@ -62,14 +78,12 @@ class EquiTrussIndex:
         superedges: np.ndarray,
     ) -> None:
         self.graph = graph
-        self.trussness = np.ascontiguousarray(trussness, dtype=np.int64)
-        self.edge_supernode = np.ascontiguousarray(edge_supernode, dtype=np.int64)
-        self.supernode_trussness = np.ascontiguousarray(
-            supernode_trussness, dtype=np.int64
-        )
-        self.supernode_indptr = np.ascontiguousarray(supernode_indptr, dtype=np.int64)
-        self.supernode_edges = np.ascontiguousarray(supernode_edges, dtype=np.int64)
-        self.superedges = np.ascontiguousarray(superedges, dtype=np.int64).reshape(-1, 2)
+        self.trussness = _as_int64(trussness)
+        self.edge_supernode = _as_int64(edge_supernode)
+        self.supernode_trussness = _as_int64(supernode_trussness)
+        self.supernode_indptr = _as_int64(supernode_indptr)
+        self.supernode_edges = _as_int64(supernode_edges)
+        self.superedges = _as_int64(superedges).reshape(-1, 2)
         self._sn_adj: tuple[np.ndarray, np.ndarray] | None = None
 
     # ------------------------------------------------------------------

@@ -91,6 +91,8 @@ class BuildResult:
     num_workers: int
     #: the context the build ran under (dtype policy, workspace, backend).
     ctx: ExecutionContext | None = None
+    #: where the persistent store artifact landed (``store_path=`` runs).
+    store_path: object | None = None
 
     @property
     def breakdown(self) -> KernelBreakdown:
@@ -129,6 +131,8 @@ def build_index(
     neighbor_rounds: int = 2,
     seed: int = 0,
     *,
+    store_path=None,
+    store_generation: int = 1,
     policy=None,
 ) -> BuildResult:
     """Construct the EquiTruss index with the chosen parallel variant.
@@ -138,6 +142,13 @@ def build_index(
     precomputed). All variants — and all dtype policies — return
     identical canonical indexes. ``num_workers`` defaults to the
     context's worker count; ``policy`` is a deprecated alias for ``ctx``.
+
+    ``store_path`` additionally persists the result as a
+    :mod:`repro.store` artifact (atomic swap; includes the precomputed
+    serving component tables, so serving fleets attach in milliseconds
+    instead of rebuilding). ``store_generation`` seeds the store's
+    journal epoch — a rebuild swapping over a live store must pass a
+    generation past every journal entry it absorbed.
     """
     if variant not in VARIANTS:
         raise InvalidParameterError(
@@ -241,6 +252,19 @@ def build_index(
     metrics.inc("repro.pipeline.builds")
     metrics.set_gauge("repro.equitruss.supernodes", index.num_supernodes)
     metrics.set_gauge("repro.equitruss.superedges", index.num_superedges)
+    if store_path is not None:
+        # persist with the serving tables precomputed: attach then skips
+        # both the build *and* the component sweep
+        from repro.serve.components import LevelComponents
+        from repro.store.writer import write_store
+
+        with ctx.region("StoreWrite", work=graph.num_edges, parallel=False):
+            components = LevelComponents(index, ctx=ctx)
+            store_path = write_store(
+                index, store_path, components=components,
+                generation=store_generation, ctx=ctx,
+            )
     return BuildResult(
-        index=index, trace=trace, variant=variant, num_workers=num_workers, ctx=ctx
+        index=index, trace=trace, variant=variant, num_workers=num_workers,
+        ctx=ctx, store_path=store_path,
     )

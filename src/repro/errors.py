@@ -32,6 +32,18 @@ class IndexIntegrityError(ReproError):
     """An EquiTruss index failed internal validation."""
 
 
+class StoreError(ReproError):
+    """A persistent index-store operation failed."""
+
+
+class CorruptStoreError(StoreError):
+    """A store file failed structural or checksum verification."""
+
+
+class StaleStoreError(StoreError):
+    """An attached store generation no longer matches what is on disk."""
+
+
 class BackendError(ReproError):
     """A parallel execution backend failed or was misconfigured."""
 

@@ -76,12 +76,16 @@ def dataset_fingerprint(graph, name: str | None = None) -> dict:
 def schema_versions() -> dict:
     """Schema versions of every artifact family a run can emit."""
     from repro.bench.snapshot import SNAPSHOT_SCHEMA_VERSION
+    from repro.store.format import STORE_FORMAT_VERSION
+    from repro.store.journal import JOURNAL_SCHEMA_VERSION
 
     return {
         "trace": TRACE_SCHEMA_VERSION,
         "metrics": METRICS_SCHEMA_VERSION,
         "manifest": MANIFEST_SCHEMA_VERSION,
         "snapshot": SNAPSHOT_SCHEMA_VERSION,
+        "store": STORE_FORMAT_VERSION,
+        "journal": JOURNAL_SCHEMA_VERSION,
     }
 
 

@@ -194,6 +194,7 @@ class ExecutionContext:
     dtype: DtypePolicy | str = "auto"
     workspace: Workspace = field(default_factory=Workspace)
     _handles: list = field(default_factory=list, repr=False)
+    _closers: list = field(default_factory=list, repr=False)
 
     def __post_init__(self) -> None:
         check_positive("num_workers", self.num_workers)
@@ -227,7 +228,7 @@ class ExecutionContext:
 
     def with_dtype(self, dtype: DtypePolicy | str) -> "ExecutionContext":
         """Copy of this context under a different dtype policy."""
-        return replace(self, dtype=DtypePolicy.of(dtype), _handles=[])
+        return replace(self, dtype=DtypePolicy.of(dtype), _handles=[], _closers=[])
 
     # ------------------------------------------------------------------
     # Dtype decisions
@@ -303,8 +304,27 @@ class ExecutionContext:
     # ------------------------------------------------------------------
     # Lifecycle
     # ------------------------------------------------------------------
+    def register_closer(self, closer) -> None:
+        """Run ``closer()`` during :meth:`close`, *before* the backend.
+
+        Resources layered on top of the context — most importantly an
+        attached store's read-only memory maps
+        (:class:`~repro.store.reader.AttachedStore`) — must be released
+        before the backend unlinks its shared segments: platforms with
+        strict unlink semantics (and same-process re-attach) otherwise
+        see dangling handles. Closers run in reverse registration order
+        and exactly once each.
+        """
+        self._closers.append(closer)
+
     def close(self) -> None:
-        """Release the backend's pools (worker processes, threads, shm)."""
+        """Release the backend's pools (worker processes, threads, shm).
+
+        Registered closers (mmap releases, attached stores) run first,
+        newest-first, so teardown unwinds in reverse acquisition order.
+        """
+        while self._closers:
+            self._closers.pop()()
         close_backend(self.backend)
 
     def __enter__(self) -> "ExecutionContext":

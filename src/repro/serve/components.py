@@ -64,6 +64,50 @@ class LevelComponents:
                 self._labels[int(k)] = comp.copy()
         metrics.set_gauge("repro.serve.component_levels", len(self._labels))
 
+    # ------------------------------------------------------------------
+    # Persistence tables (the mmap-attach fast path)
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_tables(
+        cls, levels: np.ndarray, labels: np.ndarray
+    ) -> "LevelComponents":
+        """Rebuild from precomputed tables, skipping the union-find sweep.
+
+        ``levels`` are the distinct trussness levels (ascending) and
+        ``labels`` the ``int64[len(levels), S]`` per-level label rows —
+        exactly what :meth:`to_tables` exports and the persistent store
+        (:mod:`repro.store`) maps back in. Rows are kept as views (no
+        copy), so labels served from an attached store stay zero-copy.
+        """
+        levels = np.asarray(levels, dtype=np.int64).reshape(-1)
+        labels = np.asarray(labels, dtype=np.int64)
+        if labels.ndim != 2 or labels.shape[0] != levels.size:
+            from repro.errors import InvalidParameterError
+
+            raise InvalidParameterError(
+                f"labels table shape {labels.shape} does not match "
+                f"{levels.size} levels"
+            )
+        self = object.__new__(cls)
+        self.levels = levels
+        self._labels = {int(k): labels[i] for i, k in enumerate(levels.tolist())}
+        metrics.set_gauge("repro.serve.component_levels", len(self._labels))
+        return self
+
+    def to_tables(self) -> tuple[np.ndarray, np.ndarray]:
+        """Export as ``(levels, labels)`` arrays for persistence.
+
+        The labels matrix rows align with ``levels`` (ascending); an
+        index with no supernodes exports a ``(0, 0)`` matrix.
+        """
+        levels = np.ascontiguousarray(self.levels, dtype=np.int64)
+        if levels.size:
+            labels = np.stack([self._labels[int(k)] for k in levels.tolist()])
+            labels = np.ascontiguousarray(labels, dtype=np.int64)
+        else:
+            labels = np.empty((0, 0), dtype=np.int64)
+        return levels, labels
+
     @property
     def kmax(self) -> int:
         return int(self.levels[-1]) if self.levels.size else 2

@@ -50,14 +50,24 @@ class QueryEngine:
         index: EquiTrussIndex,
         ctx: ExecutionContext | None = None,
         cache_size: int = 1024,
+        components: LevelComponents | None = None,
     ) -> None:
         self.ctx = ExecutionContext.ensure(ctx)
         self.cache = QueryCache(cache_size)
-        self._bind(index)
+        self._bind(index, components)
 
-    def _bind(self, index: EquiTrussIndex) -> None:
+    def _bind(
+        self, index: EquiTrussIndex, components: LevelComponents | None = None
+    ) -> None:
         self.index = index
-        self.components = LevelComponents(index, ctx=self.ctx)
+        # precomputed tables (the mmap-attach path — see repro.store)
+        # skip the union-find sweep entirely; they MUST describe this
+        # exact index, which the store's fingerprint protocol guarantees
+        self.components = (
+            components
+            if components is not None
+            else LevelComponents(index, ctx=self.ctx)
+        )
         # (level, component label) -> sorted member edge ids, shared by
         # every query that lands in the community
         self._materialized: dict[tuple[int, int], np.ndarray] = {}
@@ -65,14 +75,20 @@ class QueryEngine:
     # ------------------------------------------------------------------
     # Cache lifecycle
     # ------------------------------------------------------------------
-    def refresh(self, index: EquiTrussIndex) -> None:
+    def refresh(
+        self,
+        index: EquiTrussIndex,
+        components: LevelComponents | None = None,
+    ) -> None:
         """Rebind to a (rebuilt) index and drop every derived cache.
 
         This is the invalidation contract: after ``refresh`` no answer
         derived from the old index can be served. Registered as the
-        update hook by :meth:`attach`.
+        update hook by :meth:`attach`; the store's re-attach path passes
+        the freshly mapped ``components`` so a swap does not force a
+        component sweep.
         """
-        self._bind(index)
+        self._bind(index, components)
         self.cache.invalidate()
 
     def invalidate(self) -> None:

@@ -26,7 +26,9 @@ def test_collect_manifest_minimal_shape():
     assert doc["dataset"] is None
     assert doc["host"]["cpu_count"] >= 1
     versions = doc["schema_versions"]
-    assert set(versions) == {"trace", "metrics", "manifest", "snapshot"}
+    assert set(versions) == {
+        "trace", "metrics", "manifest", "snapshot", "store", "journal"
+    }
 
 
 def test_collect_manifest_with_context_and_graph():

@@ -1,0 +1,175 @@
+"""Differential store correctness: write → attach is bit-identical.
+
+Every index array that goes through the binary container must come back
+byte for byte, on every construction variant, and the attached
+:class:`QueryEngine` must answer exactly like the BFS reference over the
+in-memory index. The attach path is also pinned as zero-copy: the
+returned arrays are views into the mapping, not copies.
+"""
+
+import numpy as np
+import pytest
+
+from repro.community import search_communities
+from repro.community.search import query_candidate_ks
+from repro.equitruss.index import EquiTrussIndex
+from repro.equitruss.pipeline import build_index
+from repro.graph import CSRGraph
+from repro.graph.edgelist import EdgeList
+from repro.graph.generators import (
+    erdos_renyi_gnm,
+    paper_example_graph,
+    rmat_graph,
+)
+from repro.store import IndexStore, attach_store
+from repro.store.format import REQUIRED_SECTIONS
+from repro.store.reader import inspect_store, verify_store
+from repro.store.writer import write_store
+
+GRAPHS = {
+    "er": lambda: erdos_renyi_gnm(300, 2600, seed=11),
+    "rmat": lambda: rmat_graph(8, 8, seed=5),
+    "paper": paper_example_graph,
+}
+VARIANTS = ("baseline", "coptimal", "afforest")
+
+INDEX_ARRAYS = (
+    "trussness",
+    "edge_supernode",
+    "supernode_trussness",
+    "supernode_indptr",
+    "supernode_edges",
+    "superedges",
+)
+
+
+def _graph(name):
+    return CSRGraph.from_edgelist(GRAPHS[name]())
+
+
+def assert_index_identical(expected, got, context=None):
+    for field in INDEX_ARRAYS:
+        a, b = getattr(expected, field), getattr(got, field)
+        assert a.dtype == b.dtype, (context, field)
+        assert np.array_equal(a, b), (context, field)
+    assert np.array_equal(expected.graph.edges.u, got.graph.edges.u), context
+    assert np.array_equal(expected.graph.edges.v, got.graph.edges.v), context
+    assert np.array_equal(expected.graph.indptr, got.graph.indptr), context
+    assert np.array_equal(expected.graph.indices, got.graph.indices), context
+
+
+@pytest.mark.parametrize("variant", VARIANTS)
+@pytest.mark.parametrize("name", sorted(GRAPHS))
+def test_write_attach_bit_identical(tmp_path, name, variant):
+    g = _graph(name)
+    result = build_index(g, variant, store_path=tmp_path / "g.eqtsidx")
+    with attach_store(result.store_path, verify=True) as store:
+        assert_index_identical(result.index, store.index, (name, variant))
+        assert store.components is not None
+        assert store.generation == 1
+
+
+@pytest.mark.parametrize("name", sorted(GRAPHS))
+def test_attached_engine_matches_bfs_reference(tmp_path, name):
+    g = _graph(name)
+    result = build_index(g, "afforest", store_path=tmp_path / "g.eqtsidx")
+    with attach_store(result.store_path) as store:
+        engine = store.engine()
+        for q in range(0, g.num_vertices, 3):
+            ks = [int(k) for k in query_candidate_ks(result.index, q).tolist()]
+            for k in [k for k in ks if k >= 3] or [3]:
+                expected = search_communities(result.index, q, k)
+                got = engine.query(q, k)
+                assert len(expected) == len(got), (name, q, k)
+                for e, c in zip(expected, got):
+                    assert e.k == c.k, (name, q, k)
+                    assert np.array_equal(e.edge_ids, c.edge_ids), (name, q, k)
+
+
+def test_attach_is_zero_copy(tmp_path):
+    g = _graph("er")
+    result = build_index(g, "afforest", store_path=tmp_path / "g.eqtsidx")
+    store = attach_store(result.store_path)
+    # every index array and graph array must be a view into the mapping
+    for field in INDEX_ARRAYS:
+        assert np.shares_memory(getattr(store.index, field), store._buf), field
+        assert not getattr(store.index, field).flags.writeable, field
+    for arr in (store.graph.indptr, store.graph.indices, store.graph.edge_ids,
+                store.graph.edges.u, store.graph.edges.v):
+        assert np.shares_memory(arr, store._buf)
+    store.close()
+
+
+def test_index_init_accepts_readonly_views_without_copy():
+    """Satellite regression: EquiTrussIndex must not eagerly copy
+    contiguous int64 input — attach feeds it read-only mmap views."""
+    g = _graph("paper")
+    base = build_index(g, "afforest").index
+    backing = {}
+    views = {}
+    for field in INDEX_ARRAYS:
+        arr = np.ascontiguousarray(getattr(base, field))
+        arr.setflags(write=False)
+        backing[field] = arr
+        views[field] = arr.reshape(-1) if field == "superedges" else arr
+    rebuilt = EquiTrussIndex(graph=g, **views)
+    for field in INDEX_ARRAYS:
+        assert np.shares_memory(getattr(rebuilt, field), backing[field]), field
+
+
+def test_triangle_free_graph_roundtrip(tmp_path):
+    # a path graph: no triangles, empty supernode universe
+    u = np.arange(9, dtype=np.int64)
+    v = u + 1
+    g = CSRGraph.from_edgelist(EdgeList(u, v, 10))
+    result = build_index(g, "afforest", store_path=tmp_path / "path.eqtsidx")
+    assert result.index.num_supernodes == 0
+    with attach_store(result.store_path, verify=True) as store:
+        assert_index_identical(result.index, store.index)
+        assert store.engine().query(0, 3) == []
+
+
+def test_inspect_and_verify_report(tmp_path):
+    g = _graph("rmat")
+    result = build_index(g, "coptimal", store_path=tmp_path / "g.eqtsidx",
+                         store_generation=7)
+    info = inspect_store(result.store_path)
+    assert info["generation"] == 7
+    assert info["num_vertices"] == g.num_vertices
+    assert info["num_edges"] == g.num_edges
+    assert info["has_components"]
+    assert set(REQUIRED_SECTIONS) <= set(info["sections"])
+    assert info["schema_versions"]["store"] == 1
+    report = verify_store(result.store_path)
+    assert report["ok"] and report["generation"] == 7
+
+
+def test_store_facade(tmp_path):
+    g = _graph("paper")
+    index = build_index(g, "afforest").index
+    path = IndexStore.write(index, tmp_path / "g.eqtsidx")
+    with IndexStore.attach(path) as store:
+        assert_index_identical(index, store.index)
+        assert store.components is None  # written without serving tables
+        assert store.engine().query(10, 3)  # sweep fallback still works
+    assert IndexStore.verify(path)["ok"]
+    assert IndexStore.inspect(path)["generation"] == 1
+
+
+def test_variants_write_identical_payloads(tmp_path):
+    """All variants build the same canonical index → byte-identical
+    sections (creation time/manifest differ, payload must not)."""
+    from repro.store.reader import read_header
+
+    g = _graph("er")
+    digests = set()
+    for variant in VARIANTS:
+        result = build_index(g, variant)
+        path = write_store(result.index, tmp_path / f"{variant}.eqtsidx",
+                           manifest=False)
+        header = read_header(path)
+        digests.add(tuple(
+            (name, meta["sha256"])
+            for name, meta in sorted(header["sections"].items())
+        ))
+    assert len(digests) == 1

@@ -246,3 +246,54 @@ def test_query_flag_validation(indexed_graph, tmp_path, capsys):
     assert main(["query", str(indexed_graph), "--batch-file", str(bad),
                  "--k", "3"]) == 2
     capsys.readouterr()
+
+
+def test_store_write_attach_inspect_verify_roundtrip(tmp_path, capsys):
+    graph_path = tmp_path / "g.npz"
+    index_path = tmp_path / "g.index.npz"
+    store_path = tmp_path / "g.eqtsidx"
+
+    assert main(["generate", "gnm", "--n", "80", "--m", "500",
+                 "--seed", "6", "--out", str(graph_path)]) == 0
+    capsys.readouterr()
+
+    assert main(["index", str(graph_path), "--out", str(index_path),
+                 "--store-out", str(store_path),
+                 "--store-generation", "3"]) == 0
+    out = capsys.readouterr().out
+    assert "wrote store (gen 3" in out
+    assert store_path.exists()
+
+    assert main(["store", "inspect", str(store_path)]) == 0
+    out = capsys.readouterr().out
+    assert "generation 3" in out
+    assert "index.trussness" in out
+
+    assert main(["store", "inspect", str(store_path), "--json"]) == 0
+    import json
+
+    doc = json.loads(capsys.readouterr().out)
+    assert doc["generation"] == 3 and doc["has_components"]
+
+    assert main(["store", "verify", str(store_path)]) == 0
+    out = capsys.readouterr().out
+    assert "OK" in out
+
+    assert main(["attach", str(store_path), "--verify",
+                 "--vertex", "0", "--k", "3"]) == 0
+    out = capsys.readouterr().out
+    assert "attached" in out and "gen 3" in out
+
+    assert main(["attach", str(store_path), "--refresh"]) == 0
+    out = capsys.readouterr().out
+    assert "up to date" in out or "journal" in out or "re-attached" in out
+
+
+def test_store_commands_reject_garbage(tmp_path, capsys):
+    bogus = tmp_path / "bogus.eqtsidx"
+    bogus.write_bytes(b"NOTASTOR" + b"\x00" * 64)
+    assert main(["store", "verify", str(bogus)]) == 1
+    assert main(["store", "inspect", str(bogus)]) == 1
+    assert main(["attach", str(bogus)]) == 1
+    err = capsys.readouterr().err
+    assert "FAILED" in err
