@@ -9,6 +9,10 @@ index
     Build the EquiTruss index for a graph file and persist it.
 query
     Answer local community queries from a saved index.
+serve
+    Run the sharded TCP serving frontend over a persisted store.
+loadgen
+    Drive open/closed-loop load against a running frontend.
 info
     Summarize a graph or index file, or (``--trace``) print the
     per-kernel breakdown of a saved JSONL trace.
@@ -327,6 +331,104 @@ def _cmd_attach(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    """Run the sharded serving frontend over a persisted store."""
+    import asyncio
+
+    from repro.errors import ServeError, StoreError
+    from repro.serve.frontend import FrontendConfig, run_frontend
+
+    config = FrontendConfig(
+        store_path=args.store,
+        num_shards=args.shards,
+        host=args.host,
+        port=args.port,
+        window_ms=args.window_ms,
+        max_batch=args.max_batch,
+        max_pending=args.max_pending,
+        cache_size=args.cache_size,
+        variant=args.variant,
+        auto_refresh=args.auto_refresh,
+    )
+
+    def on_ready(frontend) -> None:
+        print(
+            f"serving {args.store} at {frontend.host}:{frontend.port} "
+            f"with {args.shards} shards "
+            f"(window {args.window_ms} ms, max batch {args.max_batch}, "
+            f"admission limit {args.max_pending})"
+        )
+        if args.endpoint_file:
+            Path(args.endpoint_file).write_text(
+                f"{frontend.host} {frontend.port}\n", encoding="utf-8"
+            )
+        sys.stdout.flush()
+
+    try:
+        asyncio.run(
+            run_frontend(config, duration=args.duration, on_ready=on_ready)
+        )
+    except (ServeError, StoreError) as exc:
+        print(f"FAILED: {exc}", file=sys.stderr)
+        return 1
+    except KeyboardInterrupt:  # pragma: no cover - interactive stop
+        pass
+    return 0
+
+
+def _cmd_loadgen(args: argparse.Namespace) -> int:
+    """Drive open/closed-loop load against a running frontend."""
+    import json
+
+    from repro.errors import ServeError
+    from repro.serve.loadgen import (
+        closed_loop,
+        default_ks,
+        discover_universe,
+        open_loop,
+    )
+
+    try:
+        num_vertices, kmax = discover_universe(args.host, args.port)
+    except (ServeError, OSError) as exc:
+        print(f"FAILED: no frontend at {args.host}:{args.port} ({exc})",
+              file=sys.stderr)
+        return 1
+    ks = default_ks(kmax)
+    if args.mode == "closed":
+        report = closed_loop(
+            args.host, args.port, clients=args.clients, seconds=args.seconds,
+            num_vertices=num_vertices, ks=ks, seed=args.seed,
+        )
+    else:
+        if args.rate is None:
+            print("--mode open requires --rate", file=sys.stderr)
+            return 2
+        report = open_loop(
+            args.host, args.port, rate=args.rate, seconds=args.seconds,
+            num_vertices=num_vertices, ks=ks, seed=args.seed,
+        )
+    summary = report.as_dict()
+    if args.json:
+        print(json.dumps(summary, indent=2, sort_keys=True))
+        return 0
+    offered = "closed loop" if report.offered_qps is None else \
+        f"{report.offered_qps:.1f} qps offered"
+    print(
+        f"{report.mode} load ({offered}, {report.clients} clients, "
+        f"{report.seconds:.1f}s): {report.achieved_qps:.1f} qps achieved"
+    )
+    print(
+        f"  {report.ok} ok / {report.rejected} rejected / "
+        f"{report.shard_errors + report.other_errors} errors"
+    )
+    for q in (50, 95, 99):
+        p = summary[f"p{q}_ms"]
+        if p is not None:
+            print(f"  p{q} {p:.2f} ms")
+    return 0
+
+
 def _cmd_store(args: argparse.Namespace) -> int:
     """Inspect / verify a store file without serving from it."""
     import json
@@ -533,6 +635,50 @@ def build_parser() -> argparse.ArgumentParser:
                           "before answering")
     add_context_flags(att)
     att.set_defaults(func=_cmd_attach)
+
+    srv = sub.add_parser(
+        "serve",
+        help="run the sharded TCP serving frontend over a persisted store",
+    )
+    srv.add_argument("store", help="persisted .eqtsidx store file")
+    srv.add_argument("--shards", type=int, default=2,
+                     help="shard worker processes (default 2)")
+    srv.add_argument("--host", default="127.0.0.1")
+    srv.add_argument("--port", type=int, default=0,
+                     help="TCP port (0 picks an ephemeral one)")
+    srv.add_argument("--window-ms", type=float, default=2.0,
+                     help="request-coalescing window in milliseconds")
+    srv.add_argument("--max-batch", type=int, default=64,
+                     help="flush a coalesced batch at this size")
+    srv.add_argument("--max-pending", type=int, default=1024,
+                     help="admission limit before backpressure rejections")
+    srv.add_argument("--cache-size", type=int, default=1024,
+                     help="per-shard engine LRU result-cache entries")
+    srv.add_argument("--variant", default="afforest",
+                     help="variant for journal-replay refresh")
+    srv.add_argument("--auto-refresh", action="store_true",
+                     help="shards check the update journal before every batch")
+    srv.add_argument("--duration", type=float, default=None,
+                     help="serve for this many seconds (default: forever)")
+    srv.add_argument("--endpoint-file", default=None, metavar="PATH",
+                     help="write 'host port' here once the socket is bound")
+    srv.set_defaults(func=_cmd_serve)
+
+    lg = sub.add_parser(
+        "loadgen", help="drive open/closed-loop load against a frontend"
+    )
+    lg.add_argument("--host", default="127.0.0.1")
+    lg.add_argument("--port", type=int, required=True)
+    lg.add_argument("--mode", choices=["closed", "open"], default="closed")
+    lg.add_argument("--clients", type=int, default=4,
+                    help="closed-loop concurrent connections")
+    lg.add_argument("--rate", type=float, default=None,
+                    help="open-loop offered arrival rate (qps)")
+    lg.add_argument("--seconds", type=float, default=5.0)
+    lg.add_argument("--seed", type=int, default=0)
+    lg.add_argument("--json", action="store_true",
+                    help="print the report as JSON instead of text")
+    lg.set_defaults(func=_cmd_loadgen)
 
     st = sub.add_parser("store", help="inspect or verify a persisted store file")
     st_sub = st.add_subparsers(dest="store_command", required=True)

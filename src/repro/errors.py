@@ -44,6 +44,22 @@ class StaleStoreError(StoreError):
     """An attached store generation no longer matches what is on disk."""
 
 
+class ServeError(ReproError):
+    """A serving front-end or shard-worker operation failed."""
+
+
+class WireProtocolError(ServeError):
+    """A frame on the serving wire violated the NDJSON protocol."""
+
+
+class ShardUnavailableError(ServeError):
+    """A shard worker died (or stayed dead) with requests in flight."""
+
+
+class BackpressureError(ServeError):
+    """The frontend's admission limit rejected a request (retry later)."""
+
+
 class BackendError(ReproError):
     """A parallel execution backend failed or was misconfigured."""
 

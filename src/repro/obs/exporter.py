@@ -55,6 +55,14 @@ def _render_histogram(pname: str, hist: Histogram, lines: list[str]) -> None:
             cum += c
             lines.append(f'{pname}_bucket{{le="{_fmt(le)}"}} {cum}')
         lines.append(f'{pname}_bucket{{le="+Inf"}} {hist.count}')
+        # pre-estimated quantiles as companion gauges, so a scrape (or a
+        # bare curl of the serving frontend's `metrics` op) reads p50/p99
+        # without a PromQL histogram_quantile evaluation
+        for q in (50, 95, 99):
+            p = value.get(f"p{q}")
+            if p is not None:
+                lines.append(f"# TYPE {pname}_p{q} gauge")
+                lines.append(f"{pname}_p{q} {_fmt(p)}")
     else:
         lines.append(f"# TYPE {pname} summary")
         for q in (50, 95, 99):

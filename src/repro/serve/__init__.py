@@ -11,19 +11,34 @@ all anchors with one CSR gather, results are LRU-cached per
 ``(vertex, k)``, and a :class:`QueryDispatcher` fans request batches
 across :class:`~repro.parallel.context.ExecutionContext` workers.
 
+On top of the in-process tier sits the network tier
+(:mod:`repro.serve.frontend`): an asyncio TCP server that coalesces
+concurrent requests into ``query_many`` batches, applies admission
+control, and routes by vertex partition to shard worker processes
+(:mod:`repro.serve.shard`) that mmap-attach the persistent store.
+:class:`ServeClient` is the blocking client;
+:mod:`repro.serve.loadgen` drives open/closed-loop load against it.
+
 Correctness contract: every engine path (cached or not, batch or
-single) returns communities byte-identical to ``search_communities``;
-``tests/serve/`` pins this differentially on randomized graphs.
+single, in-process or through the wire) returns communities
+byte-identical to ``search_communities``; ``tests/serve/`` pins this
+differentially on randomized graphs.
 """
 
 from repro.serve.cache import QueryCache
+from repro.serve.client import ServeClient
 from repro.serve.components import LevelComponents
 from repro.serve.engine import QueryEngine
 from repro.serve.dispatch import QueryDispatcher
+from repro.serve.frontend import FrontendConfig, FrontendThread, ServingFrontend
 
 __all__ = [
+    "FrontendConfig",
+    "FrontendThread",
     "LevelComponents",
     "QueryCache",
     "QueryDispatcher",
     "QueryEngine",
+    "ServeClient",
+    "ServingFrontend",
 ]

@@ -1,0 +1,724 @@
+"""Async serving front-end: coalescing TCP tier over shard workers.
+
+The outside-facing half of the serving story. A stdlib-only asyncio TCP
+server speaks the newline-delimited JSON protocol of
+:mod:`repro.serve.protocol` and turns a stream of single
+``(vertex, k)`` queries into shard-worker ``query_many`` batches:
+
+* **Coalescing** — concurrent requests with the same ``k`` are buffered
+  into one batch, flushed when the batch reaches ``max_batch`` or the
+  ``window_ms`` timer fires, whichever comes first. A lone request
+  never waits longer than one window.
+* **Admission control** — at most ``max_pending`` admitted requests may
+  be in the house (buffered or in flight); past that the frontend
+  answers immediately with a typed ``backpressure`` rejection instead
+  of queueing into a timeout.
+* **Shard routing** — each batch is split by the block vertex
+  partition of :class:`repro.distributed.partition.VertexOwnership`;
+  shard ``r`` answers the vertices it owns. Every shard worker maps
+  the *full* persistent store
+  (:func:`~repro.store.reader.attach_store`), so routing is a cache-
+  locality decision, not a correctness one: communities crossing
+  partition boundaries are answered exactly by whichever shard owns
+  the anchor.
+* **Supervision** — a shard that dies fails its in-flight requests
+  with typed ``shard_unavailable`` errors and is respawned (up to
+  ``restart_limit``) before the next batch routed to it.
+
+Per-request observability goes through the PR 6 fixed-boundary
+histogram registry: ``repro.serve.frontend.latency_ms``,
+``repro.serve.frontend.queue_depth`` and
+``repro.serve.frontend.coalesce_batch_size`` export p50/p95/p99 in
+both the JSON snapshot and the Prometheus text exposition (the
+``metrics`` op merges the shard workers' registries into the reply).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import os
+import sys
+import threading
+import time
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any
+
+from repro.errors import (
+    BackpressureError,
+    InvalidParameterError,
+    ReproError,
+    ServeError,
+    ShardUnavailableError,
+    WireProtocolError,
+)
+from repro.obs import metrics
+from repro.obs.histogram import DEFAULT_MS_BOUNDARIES
+from repro.serve import protocol
+
+#: Bucket upper bounds for request-count shaped histograms
+#: (``repro.serve.frontend.queue_depth`` / ``coalesce_batch_size``).
+COUNT_BOUNDARIES: tuple[float, ...] = (
+    1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0, 128.0, 256.0, 512.0, 1024.0,
+    4096.0,
+)
+
+
+@dataclass(frozen=True)
+class FrontendConfig:
+    """Knobs of one serving frontend (see ``docs/architecture.md``)."""
+
+    #: persisted ``.eqtsidx`` store every shard worker attaches
+    store_path: str | Path
+    #: number of shard worker processes (= vertex partition ranks)
+    num_shards: int = 2
+    host: str = "127.0.0.1"
+    #: 0 picks an ephemeral port (read it back from ``frontend.port``)
+    port: int = 0
+    #: coalescing window: a buffered batch flushes after this long
+    window_ms: float = 2.0
+    #: a batch also flushes as soon as it holds this many requests
+    max_batch: int = 64
+    #: admission limit: buffered + in-flight requests before rejection
+    max_pending: int = 1024
+    #: per-shard engine LRU result-cache entries
+    cache_size: int = 1024
+    #: how many times a dead shard is respawned before giving up
+    restart_limit: int = 5
+    #: seconds to wait for a shard's ready handshake at spawn
+    ready_timeout_s: float = 60.0
+    #: seconds one shard batch call may take before it counts as dead
+    call_timeout_s: float = 120.0
+    #: variant shard workers use for journal-replay refresh
+    variant: str = "afforest"
+    #: shards check the update journal before every batch
+    auto_refresh: bool = False
+    #: extra argv appended to the shard command (fault-injection knobs)
+    shard_args: tuple[str, ...] = ()
+
+
+def _shard_command(config: FrontendConfig, rank: int) -> list[str]:
+    cmd = [
+        sys.executable, "-m", "repro.serve.shard",
+        "--store", str(config.store_path),
+        "--rank", str(rank),
+        "--ranks", str(config.num_shards),
+        "--cache-size", str(config.cache_size),
+        "--variant", config.variant,
+    ]
+    if config.auto_refresh:
+        cmd.append("--auto-refresh")
+    cmd.extend(config.shard_args)
+    return cmd
+
+
+def _shard_env() -> dict[str, str]:
+    """Subprocess env whose ``PYTHONPATH`` can import this checkout."""
+    import repro
+
+    src = str(Path(repro.__file__).resolve().parent.parent)
+    env = dict(os.environ)
+    prior = env.get("PYTHONPATH")
+    env["PYTHONPATH"] = src if not prior else os.pathsep.join([src, prior])
+    return env
+
+
+class ShardHandle:
+    """Frontend-side supervisor of one shard worker subprocess."""
+
+    def __init__(self, config: FrontendConfig, rank: int) -> None:
+        self.config = config
+        self.rank = rank
+        self.proc: asyncio.subprocess.Process | None = None
+        self.ready: dict = {}
+        self.restarts = 0
+        self._seq = 0
+        self._pending: dict[int, asyncio.Future] = {}
+        self._reader_task: asyncio.Task | None = None
+        self._spawn_lock = asyncio.Lock()
+        self._dead = True
+
+    @property
+    def alive(self) -> bool:
+        return (
+            not self._dead
+            and self.proc is not None
+            and self.proc.returncode is None
+        )
+
+    @property
+    def pid(self) -> int | None:
+        return self.proc.pid if self.proc is not None else None
+
+    # ------------------------------------------------------------------
+    async def spawn(self) -> None:
+        """Start the worker and wait for its ready handshake."""
+        proc = await asyncio.create_subprocess_exec(
+            *_shard_command(self.config, self.rank),
+            stdin=asyncio.subprocess.PIPE,
+            stdout=asyncio.subprocess.PIPE,
+            env=_shard_env(),
+            limit=protocol.MAX_FRAME_BYTES,
+        )
+        self.proc = proc
+        assert proc.stdout is not None
+        try:
+            line = await asyncio.wait_for(
+                proc.stdout.readline(), self.config.ready_timeout_s
+            )
+        except asyncio.TimeoutError:
+            proc.kill()
+            await proc.wait()
+            raise ShardUnavailableError(
+                f"shard {self.rank} did not become ready within "
+                f"{self.config.ready_timeout_s}s"
+            ) from None
+        if not line:
+            await proc.wait()
+            raise ShardUnavailableError(
+                f"shard {self.rank} exited (rc={proc.returncode}) before ready"
+            )
+        frame = protocol.decode_frame(line)
+        if frame.get("op") != "ready":
+            proc.kill()
+            await proc.wait()
+            raise ShardUnavailableError(
+                f"shard {self.rank} sent {frame.get('op')!r} instead of ready"
+            )
+        self.ready = frame
+        self._dead = False
+        self._reader_task = asyncio.create_task(self._read_loop(proc))
+
+    async def _read_loop(self, proc: asyncio.subprocess.Process) -> None:
+        assert proc.stdout is not None
+        while True:
+            line = await proc.stdout.readline()
+            if not line:
+                break
+            try:
+                frame = protocol.decode_frame(line)
+            except WireProtocolError:
+                continue  # a torn line during kill; the EOF path cleans up
+            fut = self._pending.pop(frame.get("id"), None)
+            if fut is not None and not fut.done():
+                fut.set_result(frame)
+        self._dead = True
+        pending = list(self._pending.values())
+        self._pending.clear()
+        message = f"shard {self.rank} (pid {proc.pid}) disconnected"
+        for fut in pending:
+            if not fut.done():
+                fut.set_exception(ShardUnavailableError(message))
+
+    async def ensure_alive(self) -> None:
+        """Respawn a dead worker (bounded by ``restart_limit``)."""
+        if self.alive:
+            return
+        async with self._spawn_lock:
+            if self.alive:
+                return
+            if self.restarts >= self.config.restart_limit:
+                raise ShardUnavailableError(
+                    f"shard {self.rank} exceeded its restart limit "
+                    f"({self.config.restart_limit})"
+                )
+            await self._reap()
+            self.restarts += 1
+            metrics.inc("repro.serve.frontend.respawns")
+            await self.spawn()
+
+    async def _reap(self) -> None:
+        if self.proc is not None and self.proc.returncode is None:
+            try:
+                self.proc.kill()
+            except ProcessLookupError:  # pragma: no cover - raced exit
+                pass
+            await self.proc.wait()
+        if self._reader_task is not None:
+            await self._reader_task
+            self._reader_task = None
+
+    async def call(self, frame: dict, timeout: float | None = None) -> dict:
+        """One request/response round trip with the worker."""
+        if not self.alive:
+            raise ShardUnavailableError(f"shard {self.rank} is not running")
+        proc = self.proc
+        assert proc is not None and proc.stdin is not None
+        self._seq += 1
+        rid = self._seq
+        payload = dict(frame)
+        payload["id"] = rid
+        fut: asyncio.Future = asyncio.get_running_loop().create_future()
+        self._pending[rid] = fut
+        try:
+            proc.stdin.write(protocol.encode_frame(payload))
+            await proc.stdin.drain()
+        except (ConnectionError, RuntimeError) as exc:
+            self._pending.pop(rid, None)
+            raise ShardUnavailableError(
+                f"shard {self.rank} write failed: {exc}"
+            ) from exc
+        try:
+            return await asyncio.wait_for(fut, timeout)
+        except asyncio.TimeoutError:
+            self._pending.pop(rid, None)
+            raise ShardUnavailableError(
+                f"shard {self.rank} did not answer within {timeout}s"
+            ) from None
+
+    async def close(self) -> None:
+        self._dead = True
+        await self._reap()
+
+
+class ServingFrontend:
+    """The asyncio TCP server tying coalescer, router, and shards together."""
+
+    def __init__(self, config: FrontendConfig) -> None:
+        from repro.store.reader import read_header
+
+        self.config = config
+        if config.num_shards < 1:
+            raise InvalidParameterError(
+                f"num_shards must be >= 1, got {config.num_shards}"
+            )
+        header = read_header(config.store_path)
+        self.num_vertices = int(header["num_vertices"])
+        self.generation = int(header["generation"])
+        # scalar mirror of VertexOwnership.owner_of (same block formula;
+        # the differential suite pins the equivalence)
+        self._block = -(-self.num_vertices // config.num_shards) or 1
+        self.shards = [ShardHandle(config, r) for r in range(config.num_shards)]
+        self.host: str | None = None
+        self.port: int | None = None
+        self.started = False
+        self._server: asyncio.base_events.Server | None = None
+        self._buffers: dict[int, list[tuple[int, asyncio.Future]]] = {}
+        self._timers: dict[int, asyncio.TimerHandle] = {}
+        self._batch_tasks: set[asyncio.Task] = set()
+        self._admitted = 0
+
+    def _owner(self, vertex: int) -> int:
+        return min(vertex // self._block, self.config.num_shards - 1)
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    async def start(self) -> None:
+        """Spawn every shard, then start accepting connections."""
+        try:
+            await asyncio.gather(*(s.spawn() for s in self.shards))
+        except ShardUnavailableError:
+            for shard in self.shards:
+                await shard.close()
+            raise
+        self._server = await asyncio.start_server(
+            self._on_connection, self.config.host, self.config.port,
+            limit=protocol.MAX_FRAME_BYTES,
+        )
+        sockname = self._server.sockets[0].getsockname()
+        self.host, self.port = sockname[0], sockname[1]
+        metrics.set_gauge("repro.serve.frontend.shards", self.config.num_shards)
+        self.started = True
+
+    async def stop(self) -> None:
+        """Stop accepting, fail anything buffered, and kill the shards."""
+        self.started = False
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        for timer in self._timers.values():
+            timer.cancel()
+        self._timers.clear()
+        for items in self._buffers.values():
+            for _, fut in items:
+                if not fut.done():
+                    fut.set_exception(ServeError("frontend stopping"))
+            self._admitted -= len(items)
+        self._buffers.clear()
+        if self._batch_tasks:
+            await asyncio.gather(*self._batch_tasks, return_exceptions=True)
+        for shard in self.shards:
+            await shard.close()
+
+    # ------------------------------------------------------------------
+    # Connection handling
+    # ------------------------------------------------------------------
+    async def _on_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        metrics.inc("repro.serve.frontend.connections")
+        wlock = asyncio.Lock()
+        tasks: set[asyncio.Task] = set()
+        try:
+            while True:
+                line = await reader.readline()
+                if not line:
+                    break
+                task = asyncio.create_task(self._serve_frame(line, writer, wlock))
+                tasks.add(task)
+                task.add_done_callback(tasks.discard)
+        except (ConnectionError, asyncio.LimitOverrunError):
+            pass
+        finally:
+            # a disconnect drops the responses, not the batches: pending
+            # request tasks run to completion and their writes no-op
+            if tasks:
+                await asyncio.gather(*tasks, return_exceptions=True)
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, OSError):  # pragma: no cover - raced close
+                pass
+
+    async def _write(
+        self, writer: asyncio.StreamWriter, wlock: asyncio.Lock, obj: dict
+    ) -> None:
+        async with wlock:
+            if writer.is_closing():
+                return
+            try:
+                writer.write(protocol.encode_frame(obj))
+                await writer.drain()
+            except (ConnectionError, OSError):
+                pass  # client went away; nothing to deliver to
+
+    async def _serve_frame(
+        self, line: bytes, writer: asyncio.StreamWriter, wlock: asyncio.Lock
+    ) -> None:
+        try:
+            obj = protocol.decode_frame(line)
+        except WireProtocolError as exc:
+            await self._write(writer, wlock, protocol.exception_response(None, exc))
+            return
+        req_id = obj.get("id")
+        op = obj.get("op", "query")
+        t0 = time.perf_counter()
+        try:
+            if op == "query":
+                resp = await self._op_query(req_id, obj)
+            elif op == "ping":
+                resp = protocol.ok_response(
+                    req_id, pong=True, generation=self.generation
+                )
+            elif op == "stats":
+                resp = await self._op_stats(req_id)
+            elif op == "metrics":
+                resp = await self._op_metrics(req_id, obj)
+            elif op == "refresh":
+                resp = await self._op_refresh(req_id)
+            else:
+                raise WireProtocolError(f"unknown op {op!r}")
+        except ReproError as exc:
+            resp = protocol.exception_response(req_id, exc)
+        if op == "query":
+            metrics.inc("repro.serve.frontend.requests")
+            metrics.observe(
+                "repro.serve.frontend.latency_ms",
+                (time.perf_counter() - t0) * 1000.0,
+                boundaries=DEFAULT_MS_BOUNDARIES,
+            )
+        await self._write(writer, wlock, resp)
+
+    # ------------------------------------------------------------------
+    # Ops
+    # ------------------------------------------------------------------
+    async def _op_query(self, req_id: Any, obj: dict) -> dict:
+        vertex, k = protocol.check_query_fields(obj)
+        if not 0 <= vertex < self.num_vertices:
+            raise InvalidParameterError(
+                f"vertex {vertex} out of range [0, {self.num_vertices})"
+            )
+        if k < 3:
+            raise InvalidParameterError(
+                f"k must be >= 3 for k-truss communities, got {k}"
+            )
+        communities = await self._submit(vertex, k)
+        return protocol.ok_response(
+            req_id, vertex=vertex, k=k, communities=communities
+        )
+
+    async def _op_refresh(self, req_id: Any) -> dict:
+        reports = []
+        for shard in self.shards:
+            await shard.ensure_alive()
+            resp = protocol.raise_for_error(
+                await shard.call({"op": "refresh"}, self.config.call_timeout_s)
+            )
+            reports.append(
+                {
+                    "rank": shard.rank,
+                    "applied": resp.get("applied"),
+                    "swapped": resp.get("swapped"),
+                    "generation": resp.get("generation"),
+                }
+            )
+        self.generation = max(
+            (int(r["generation"]) for r in reports), default=self.generation
+        )
+        return protocol.ok_response(req_id, reports=reports)
+
+    async def _op_stats(self, req_id: Any) -> dict:
+        shard_stats: list[dict] = []
+        for shard in self.shards:
+            entry: dict = {
+                "rank": shard.rank,
+                "alive": shard.alive,
+                "pid": shard.pid,
+                "restarts": shard.restarts,
+            }
+            if shard.alive:
+                try:
+                    resp = protocol.raise_for_error(
+                        await shard.call({"op": "stats"}, self.config.call_timeout_s)
+                    )
+                    entry["stats"] = resp.get("stats")
+                except ReproError:
+                    entry["alive"] = shard.alive
+            shard_stats.append(entry)
+        frontend = {
+            "store": str(self.config.store_path),
+            "num_vertices": self.num_vertices,
+            "num_shards": self.config.num_shards,
+            "generation": self.generation,
+            "kmax": max(
+                (int(s.ready.get("kmax", 2)) for s in self.shards if s.ready),
+                default=2,
+            ),
+            "admitted": self._admitted,
+            "max_pending": self.config.max_pending,
+            "window_ms": self.config.window_ms,
+            "max_batch": self.config.max_batch,
+        }
+        return protocol.ok_response(req_id, frontend=frontend, shards=shard_stats)
+
+    async def _op_metrics(self, req_id: Any, obj: dict) -> dict:
+        from repro.obs.exporter import render_prometheus
+        from repro.obs.metrics import MetricsRegistry
+
+        fmt = obj.get("format", "prometheus")
+        merged = MetricsRegistry()
+        merged.merge_state(metrics.get_registry().dump_state())
+        for shard in self.shards:
+            if not shard.alive:
+                continue
+            try:
+                resp = protocol.raise_for_error(
+                    await shard.call({"op": "metrics"}, self.config.call_timeout_s)
+                )
+            except ReproError:
+                continue
+            merged.merge_state(resp.get("state") or {})
+        if fmt == "prometheus":
+            return protocol.ok_response(req_id, body=render_prometheus(merged))
+        if fmt == "json":
+            return protocol.ok_response(req_id, metrics=merged.as_dict())
+        raise WireProtocolError(f"unknown metrics format {fmt!r}")
+
+    # ------------------------------------------------------------------
+    # Coalescing + routing
+    # ------------------------------------------------------------------
+    async def _submit(self, vertex: int, k: int):
+        """Admit one query into the per-``k`` coalescing buffer."""
+        if self._admitted >= self.config.max_pending:
+            metrics.inc("repro.serve.frontend.rejected")
+            raise BackpressureError(
+                f"admission limit reached ({self.config.max_pending} requests "
+                f"pending); retry later"
+            )
+        self._admitted += 1
+        metrics.observe(
+            "repro.serve.frontend.queue_depth", float(self._admitted),
+            boundaries=COUNT_BOUNDARIES,
+        )
+        fut: asyncio.Future = asyncio.get_running_loop().create_future()
+        buf = self._buffers.setdefault(k, [])
+        buf.append((vertex, fut))
+        if len(buf) >= self.config.max_batch:
+            self._flush(k)
+        elif len(buf) == 1:
+            self._timers[k] = asyncio.get_running_loop().call_later(
+                self.config.window_ms / 1000.0, self._flush, k
+            )
+        return await fut
+
+    def _flush(self, k: int) -> None:
+        timer = self._timers.pop(k, None)
+        if timer is not None:
+            timer.cancel()
+        items = self._buffers.pop(k, [])
+        if not items:
+            return
+        task = asyncio.get_running_loop().create_task(self._run_batch(k, items))
+        self._batch_tasks.add(task)
+        task.add_done_callback(self._batch_tasks.discard)
+
+    async def _run_batch(
+        self, k: int, items: list[tuple[int, asyncio.Future]]
+    ) -> None:
+        metrics.observe(
+            "repro.serve.frontend.coalesce_batch_size", float(len(items)),
+            boundaries=COUNT_BOUNDARIES,
+        )
+        by_shard: dict[int, list[tuple[int, asyncio.Future]]] = {}
+        for vertex, fut in items:
+            by_shard.setdefault(self._owner(vertex), []).append((vertex, fut))
+        try:
+            await asyncio.gather(
+                *(
+                    self._shard_batch(rank, k, sub)
+                    for rank, sub in by_shard.items()
+                )
+            )
+        finally:
+            self._admitted -= len(items)
+
+    async def _shard_batch(
+        self, rank: int, k: int, sub: list[tuple[int, asyncio.Future]]
+    ) -> None:
+        shard = self.shards[rank]
+        vertices = [v for v, _ in sub]
+        t0 = time.perf_counter()
+        try:
+            await shard.ensure_alive()
+            resp = protocol.raise_for_error(
+                await shard.call(
+                    {"op": "batch", "k": k, "vertices": vertices},
+                    self.config.call_timeout_s,
+                )
+            )
+        except ShardUnavailableError as exc:
+            metrics.inc("repro.serve.frontend.shard_failures")
+            self._fail_sub(sub, ShardUnavailableError(str(exc)))
+            return
+        except ReproError as exc:
+            self._fail_sub(sub, exc)
+            return
+        metrics.observe(
+            "repro.serve.frontend.shard_ms",
+            (time.perf_counter() - t0) * 1000.0,
+            boundaries=DEFAULT_MS_BOUNDARIES,
+        )
+        results = resp.get("results")
+        if not isinstance(results, list) or len(results) != len(sub):
+            self._fail_sub(
+                sub,
+                WireProtocolError(
+                    f"shard {rank} answered {len(sub)} requests with a "
+                    f"malformed results list"
+                ),
+            )
+            return
+        for (_, fut), communities in zip(sub, results):
+            if not fut.done():
+                fut.set_result(communities)
+
+    @staticmethod
+    def _fail_sub(sub: list[tuple[int, asyncio.Future]], exc: Exception) -> None:
+        for _, fut in sub:
+            if not fut.done():
+                fut.set_exception(exc)
+
+
+# ----------------------------------------------------------------------
+# Entry points: foreground loop (CLI) and background thread (tests/bench)
+# ----------------------------------------------------------------------
+
+
+async def run_frontend(
+    config: FrontendConfig,
+    *,
+    duration: float | None = None,
+    on_ready=None,
+    stop_event: asyncio.Event | None = None,
+) -> None:
+    """Start a frontend and serve until ``duration``/``stop_event``/cancel."""
+    frontend = ServingFrontend(config)
+    await frontend.start()
+    if on_ready is not None:
+        on_ready(frontend)
+    try:
+        if stop_event is not None and duration is not None:
+            try:
+                await asyncio.wait_for(stop_event.wait(), duration)
+            except asyncio.TimeoutError:
+                pass
+        elif stop_event is not None:
+            await stop_event.wait()
+        elif duration is not None:
+            await asyncio.sleep(duration)
+        else:
+            await asyncio.Event().wait()  # serve forever
+    finally:
+        await frontend.stop()
+
+
+class FrontendThread:
+    """A frontend on a private event loop thread (tests, benchmarks).
+
+    Use as a context manager; ``host``/``port`` are valid once
+    ``__enter__`` returns. ``frontend`` exposes the live
+    :class:`ServingFrontend` (event-loop confined — talk to it over the
+    wire, not by calling coroutines from the outer thread).
+    """
+
+    def __init__(self, config: FrontendConfig) -> None:
+        self.config = config
+        self.host: str | None = None
+        self.port: int | None = None
+        self.frontend: ServingFrontend | None = None
+        self._ready = threading.Event()
+        self._error: BaseException | None = None
+        self._loop: asyncio.AbstractEventLoop | None = None
+        self._stop_event: asyncio.Event | None = None
+        self._thread: threading.Thread | None = None
+
+    def start(self) -> "FrontendThread":
+        self._thread = threading.Thread(
+            target=self._main, name="repro-serve-frontend", daemon=True
+        )
+        self._thread.start()
+        if not self._ready.wait(timeout=300.0):  # pragma: no cover - hang guard
+            raise ServeError("frontend thread did not become ready")
+        if self._error is not None:
+            raise self._error
+        return self
+
+    def stop(self) -> None:
+        if self._thread is None:
+            return
+        if self._loop is not None and self._stop_event is not None:
+            try:
+                self._loop.call_soon_threadsafe(self._stop_event.set)
+            except RuntimeError:  # pragma: no cover - loop already closed
+                pass
+        self._thread.join(timeout=60.0)
+        self._thread = None
+
+    def _main(self) -> None:
+        try:
+            asyncio.run(self._amain())
+        except BaseException as exc:  # surface spawn failures to start()
+            self._error = exc
+        finally:
+            self._ready.set()
+
+    async def _amain(self) -> None:
+        self._loop = asyncio.get_running_loop()
+        self._stop_event = asyncio.Event()
+        frontend = ServingFrontend(self.config)
+        await frontend.start()
+        self.frontend = frontend
+        self.host, self.port = frontend.host, frontend.port
+        self._ready.set()
+        try:
+            await self._stop_event.wait()
+        finally:
+            await frontend.stop()
+
+    def __enter__(self) -> "FrontendThread":
+        return self.start()
+
+    def __exit__(self, *exc) -> None:
+        self.stop()

@@ -1,0 +1,273 @@
+"""Open- and closed-loop load generation against a serving frontend.
+
+Two standard traffic models (the usual SLO-measurement pair):
+
+* **closed loop** — ``clients`` concurrent connections, each issuing
+  its next query the moment the previous answer lands. Measures peak
+  sustainable throughput and the latency the system settles into at
+  full concurrency.
+* **open loop** — one pipelined connection offering queries at a fixed
+  arrival ``rate`` regardless of completions (the coordinated-omission-
+  free model). Latency includes queue delay, so driving the rate past
+  capacity shows the p99 knee the closed loop hides.
+
+Both return a :class:`LoadReport` with achieved throughput, typed error
+counts (admission rejections are *expected* under overload and counted
+separately from failures), and p50/p95/p99 latency from the raw sample
+set (NumPy-matching interpolation via :func:`repro.obs.histogram.percentile`).
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.errors import (
+    BackpressureError,
+    ServeError,
+    ShardUnavailableError,
+)
+from repro.obs.histogram import percentile
+from repro.serve.client import ServeClient
+from repro.utils.validation import check_positive
+
+
+@dataclass
+class LoadReport:
+    """What one load-generation run offered, achieved, and observed."""
+
+    mode: str  # "closed" | "open"
+    seconds: float
+    clients: int
+    offered_qps: float | None
+    sent: int
+    ok: int
+    rejected: int
+    shard_errors: int
+    other_errors: int
+    latencies_ms: list[float] = field(default_factory=list, repr=False)
+
+    @property
+    def achieved_qps(self) -> float:
+        return self.ok / self.seconds if self.seconds > 0 else 0.0
+
+    def percentile_ms(self, q: float) -> float | None:
+        if not self.latencies_ms:
+            return None
+        return percentile(sorted(self.latencies_ms), q)
+
+    def as_dict(self) -> dict:
+        """JSON-able summary (drops the raw samples)."""
+        return {
+            "mode": self.mode,
+            "seconds": self.seconds,
+            "clients": self.clients,
+            "offered_qps": self.offered_qps,
+            "sent": self.sent,
+            "ok": self.ok,
+            "rejected": self.rejected,
+            "shard_errors": self.shard_errors,
+            "other_errors": self.other_errors,
+            "achieved_qps": self.achieved_qps,
+            "p50_ms": self.percentile_ms(50),
+            "p95_ms": self.percentile_ms(95),
+            "p99_ms": self.percentile_ms(99),
+            "max_ms": max(self.latencies_ms) if self.latencies_ms else None,
+        }
+
+
+def discover_universe(host: str, port: int, timeout: float = 30.0) -> tuple[int, int]:
+    """(num_vertices, kmax) of the index behind a frontend, via ``stats``."""
+    with ServeClient(host, port, timeout=timeout) as client:
+        frontend = client.stats()["frontend"]
+    return int(frontend["num_vertices"]), int(frontend["kmax"])
+
+
+def default_ks(kmax: int) -> list[int]:
+    """The k values a load run samples from: 3 up to min(kmax, 8)."""
+    return list(range(3, max(kmax, 3) + 1))[:6] or [3]
+
+
+class _Counts:
+    """Shared tally guarded by one lock (worker threads report here)."""
+
+    def __init__(self) -> None:
+        self.lock = threading.Lock()
+        self.sent = 0
+        self.ok = 0
+        self.rejected = 0
+        self.shard_errors = 0
+        self.other_errors = 0
+        self.latencies_ms: list[float] = []
+
+    def record(self, outcome: str, latency_ms: float | None = None) -> None:
+        with self.lock:
+            self.sent += 1
+            if outcome == "ok":
+                self.ok += 1
+                if latency_ms is not None:
+                    self.latencies_ms.append(latency_ms)
+            elif outcome == "rejected":
+                self.rejected += 1
+            elif outcome == "shard":
+                self.shard_errors += 1
+            else:
+                self.other_errors += 1
+
+
+def _classify(exc: Exception) -> str:
+    if isinstance(exc, BackpressureError):
+        return "rejected"
+    if isinstance(exc, ShardUnavailableError):
+        return "shard"
+    return "other"
+
+
+def closed_loop(
+    host: str,
+    port: int,
+    *,
+    clients: int,
+    seconds: float,
+    num_vertices: int,
+    ks: list[int],
+    seed: int = 0,
+    timeout: float = 60.0,
+) -> LoadReport:
+    """``clients`` synchronous connections at full tilt for ``seconds``."""
+    import random
+
+    check_positive("clients", clients)
+    check_positive("num_vertices", num_vertices)
+    counts = _Counts()
+    deadline = time.perf_counter() + seconds
+
+    def worker(wid: int) -> None:
+        rng = random.Random(seed * 1009 + wid)
+        with ServeClient(host, port, timeout=timeout) as client:
+            while time.perf_counter() < deadline:
+                vertex = rng.randrange(num_vertices)
+                k = rng.choice(ks)
+                t0 = time.perf_counter()
+                try:
+                    client.query(vertex, k)
+                except ServeError as exc:
+                    counts.record(_classify(exc))
+                else:
+                    counts.record("ok", (time.perf_counter() - t0) * 1000.0)
+
+    threads = [
+        threading.Thread(target=worker, args=(i,), daemon=True)
+        for i in range(clients)
+    ]
+    t_start = time.perf_counter()
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    elapsed = time.perf_counter() - t_start
+    return LoadReport(
+        mode="closed", seconds=elapsed, clients=clients, offered_qps=None,
+        sent=counts.sent, ok=counts.ok, rejected=counts.rejected,
+        shard_errors=counts.shard_errors, other_errors=counts.other_errors,
+        latencies_ms=counts.latencies_ms,
+    )
+
+
+def open_loop(
+    host: str,
+    port: int,
+    *,
+    rate: float,
+    seconds: float,
+    num_vertices: int,
+    ks: list[int],
+    seed: int = 0,
+    timeout: float = 60.0,
+    drain_timeout: float = 30.0,
+) -> LoadReport:
+    """Offer a fixed arrival rate over one pipelined connection.
+
+    The sender never waits for answers (no coordinated omission): a
+    request scheduled at ``t_i = start + i/rate`` is sent at ``t_i``
+    even when earlier answers are still outstanding, so queue delay
+    shows up in the latency distribution instead of suppressing load.
+    """
+    import random
+
+    check_positive("rate", rate)
+    check_positive("num_vertices", num_vertices)
+    counts = _Counts()
+    send_times: dict[Any, float] = {}
+    rng = random.Random(seed)
+    client = ServeClient(host, port, timeout=timeout)
+    outstanding: set[Any] = set()
+    outstanding_lock = threading.Lock()
+    #: sentinel the sender pings after its last query; once its response
+    #: is seen AND nothing is outstanding, the reader is fully drained
+    done_id = "lg-done"
+    done_seen = threading.Event()
+
+    def reader() -> None:
+        while True:
+            with outstanding_lock:
+                drained = done_seen.is_set() and not outstanding
+            if drained:
+                return
+            try:
+                resp = client.recv()
+            except ServeError:
+                return  # connection closed with requests outstanding
+            now = time.perf_counter()
+            rid = resp.get("id")
+            if rid == done_id:
+                done_seen.set()
+                continue
+            with outstanding_lock:
+                outstanding.discard(rid)
+            t0 = send_times.get(rid)
+            if resp.get("ok"):
+                counts.record(
+                    "ok", None if t0 is None else (now - t0) * 1000.0
+                )
+            else:
+                err = (resp.get("error") or {}).get("type")
+                counts.record(
+                    "rejected" if err == "backpressure"
+                    else "shard" if err == "shard_unavailable"
+                    else "other"
+                )
+
+    reader_thread = threading.Thread(target=reader, daemon=True)
+    reader_thread.start()
+    start = time.perf_counter()
+    i = 0
+    try:
+        while True:
+            target = start + i / rate
+            now = time.perf_counter()
+            if target - start >= seconds:
+                break
+            if target > now:
+                time.sleep(target - now)
+            vertex = rng.randrange(num_vertices)
+            k = rng.choice(ks)
+            rid = f"lg-{i}"
+            with outstanding_lock:
+                outstanding.add(rid)
+            send_times[rid] = time.perf_counter()
+            client.send("query", req_id=rid, vertex=vertex, k=k)
+            i += 1
+    finally:
+        client.send("ping", req_id=done_id)
+        reader_thread.join(timeout=drain_timeout)
+        elapsed = time.perf_counter() - start
+        client.close()
+    return LoadReport(
+        mode="open", seconds=elapsed, clients=1, offered_qps=rate,
+        sent=i, ok=counts.ok, rejected=counts.rejected,
+        shard_errors=counts.shard_errors, other_errors=counts.other_errors,
+        latencies_ms=counts.latencies_ms,
+    )

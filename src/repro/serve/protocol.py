@@ -1,0 +1,158 @@
+"""The serving wire protocol: newline-delimited JSON frames.
+
+One request or response per line, UTF-8 JSON, ``\\n``-terminated. The
+same frame shape is spoken on both hops — client ↔ frontend over TCP
+and frontend ↔ shard worker over the worker's stdin/stdout pipes — so
+one encoder/decoder serves every endpoint.
+
+Requests carry an ``op`` plus an ``id`` the peer echoes back verbatim;
+responses are either ``{"id": ..., "ok": true, ...}`` or
+``{"id": ..., "ok": false, "error": {"type": ..., "message": ...}}``.
+Responses to pipelined requests may arrive in any order — the ``id`` is
+the only correlation key.
+
+Error ``type`` strings are a closed vocabulary (:data:`ERROR_TYPES`)
+that maps 1:1 onto the typed exceptions in :mod:`repro.errors`;
+:func:`raise_for_error` rehydrates the exception on the client side so
+callers catch :class:`~repro.errors.BackpressureError` /
+:class:`~repro.errors.ShardUnavailableError` instead of parsing dicts.
+
+Communities travel as ``{"k": int, "edge_ids": [int, ...]}`` with the
+edge ids in the engine's canonical sorted order, so a response compares
+bit-identically against an in-process
+:meth:`~repro.serve.engine.QueryEngine.query` result.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any
+
+from repro.errors import (
+    BackpressureError,
+    InvalidParameterError,
+    ServeError,
+    ShardUnavailableError,
+    WireProtocolError,
+)
+
+#: Protocol version stamped into ready/hello frames.
+PROTOCOL_VERSION = 1
+
+#: One frame (request or response) may not exceed this many bytes —
+#: a corrupt peer must not balloon the reader's buffer.
+MAX_FRAME_BYTES = 64 * 1024 * 1024
+
+# -- error vocabulary --------------------------------------------------
+
+ERR_BACKPRESSURE = "backpressure"
+ERR_SHARD_UNAVAILABLE = "shard_unavailable"
+ERR_INVALID_PARAMETER = "invalid_parameter"
+ERR_PROTOCOL = "protocol"
+ERR_INTERNAL = "internal"
+
+#: error ``type`` string → exception class raised by :func:`raise_for_error`.
+ERROR_TYPES: dict[str, type[Exception]] = {
+    ERR_BACKPRESSURE: BackpressureError,
+    ERR_SHARD_UNAVAILABLE: ShardUnavailableError,
+    ERR_INVALID_PARAMETER: InvalidParameterError,
+    ERR_PROTOCOL: WireProtocolError,
+    ERR_INTERNAL: ServeError,
+}
+
+#: exception class → error ``type`` string (first match wins, most
+#: specific first: used by servers to serialize a caught exception).
+_EXCEPTION_TYPES: tuple[tuple[type[Exception], str], ...] = (
+    (BackpressureError, ERR_BACKPRESSURE),
+    (ShardUnavailableError, ERR_SHARD_UNAVAILABLE),
+    (InvalidParameterError, ERR_INVALID_PARAMETER),
+    (WireProtocolError, ERR_PROTOCOL),
+)
+
+
+def error_type_of(exc: Exception) -> str:
+    """The wire ``type`` string for an exception (``internal`` fallback)."""
+    for cls, name in _EXCEPTION_TYPES:
+        if isinstance(exc, cls):
+            return name
+    return ERR_INTERNAL
+
+
+# -- framing -----------------------------------------------------------
+
+
+def encode_frame(obj: dict) -> bytes:
+    """One protocol frame: compact JSON + newline."""
+    return json.dumps(obj, separators=(",", ":")).encode("utf-8") + b"\n"
+
+
+def decode_frame(line: bytes | str) -> dict:
+    """Parse one frame; :class:`WireProtocolError` on anything malformed."""
+    if isinstance(line, bytes):
+        if len(line) > MAX_FRAME_BYTES:
+            raise WireProtocolError(f"frame exceeds {MAX_FRAME_BYTES} bytes")
+        try:
+            line = line.decode("utf-8")
+        except UnicodeDecodeError as exc:
+            raise WireProtocolError(f"frame is not UTF-8: {exc}") from exc
+    try:
+        obj = json.loads(line)
+    except json.JSONDecodeError as exc:
+        raise WireProtocolError(f"frame is not JSON: {exc}") from exc
+    if not isinstance(obj, dict):
+        raise WireProtocolError(f"frame must be a JSON object, got {type(obj).__name__}")
+    return obj
+
+
+# -- responses ---------------------------------------------------------
+
+
+def ok_response(req_id: Any, **fields: Any) -> dict:
+    """A success response echoing the request id."""
+    out: dict = {"id": req_id, "ok": True}
+    out.update(fields)
+    return out
+
+
+def error_response(req_id: Any, err_type: str, message: str) -> dict:
+    """A typed failure response echoing the request id."""
+    if err_type not in ERROR_TYPES:
+        raise InvalidParameterError(f"unknown wire error type {err_type!r}")
+    return {"id": req_id, "ok": False, "error": {"type": err_type, "message": message}}
+
+
+def exception_response(req_id: Any, exc: Exception) -> dict:
+    """Serialize a caught exception as a typed failure response."""
+    return error_response(req_id, error_type_of(exc), str(exc))
+
+
+def raise_for_error(response: dict) -> dict:
+    """Return a success response; rehydrate and raise a failure one."""
+    if response.get("ok"):
+        return response
+    err = response.get("error")
+    if not isinstance(err, dict) or "type" not in err:
+        raise WireProtocolError(f"malformed error response: {response!r}")
+    cls = ERROR_TYPES.get(err["type"], ServeError)
+    raise cls(err.get("message", err["type"]))
+
+
+# -- payload shapes ----------------------------------------------------
+
+
+def serialize_communities(communities) -> list[dict]:
+    """Engine results → wire shape, canonical order and ids preserved."""
+    return [
+        {"k": int(c.k), "edge_ids": c.edge_ids.tolist()} for c in communities
+    ]
+
+
+def check_query_fields(obj: dict) -> tuple[int, int]:
+    """Validate a ``query`` request's ``vertex``/``k`` fields."""
+    vertex, k = obj.get("vertex"), obj.get("k")
+    for name, value in (("vertex", vertex), ("k", k)):
+        if not isinstance(value, int) or isinstance(value, bool):
+            raise WireProtocolError(
+                f"query field {name!r} must be an integer, got {value!r}"
+            )
+    return vertex, k

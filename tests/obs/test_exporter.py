@@ -44,6 +44,11 @@ def test_render_prometheus_counter_gauge_histogram():
     assert 'repro_test_lat_ms_bucket{le="10"} 3' in lines
     assert 'repro_test_lat_ms_bucket{le="+Inf"} 4' in lines
     assert "repro_test_lat_ms_count 4" in lines
+    # ... plus pre-estimated quantile companion gauges (the serving
+    # frontend's scrape surface reads p50/p99 without PromQL)
+    assert "# TYPE repro_test_lat_ms_p50 gauge" in lines
+    assert "repro_test_lat_ms_p50 3" in lines
+    assert any(line.startswith("repro_test_lat_ms_p99 ") for line in lines)
     # summary-only histogram: quantile series
     assert "# TYPE repro_test_sizes summary" in lines
     assert 'repro_test_sizes{quantile="0.5"} 2' in lines

@@ -1,0 +1,41 @@
+"""Shared fixtures for the network-serving test suites.
+
+One persisted store per (small) graph, built once per session, plus a
+helper that boots a :class:`~repro.serve.frontend.FrontendThread` over
+it. The frontend spawns real shard subprocesses, so the graphs here are
+deliberately tiny — the differential suites still enumerate every
+(vertex, k) pair over the wire.
+"""
+
+import pytest
+
+from repro.equitruss.pipeline import build_index
+from repro.graph import CSRGraph
+from repro.graph.generators import (
+    erdos_renyi_gnm,
+    paper_example_graph,
+    rmat_graph,
+)
+
+SERVE_GRAPHS = {
+    "er": lambda: erdos_renyi_gnm(40, 220, seed=3),
+    "rmat": lambda: rmat_graph(5, 8, seed=5),
+    "paper": paper_example_graph,
+}
+
+
+@pytest.fixture(scope="session")
+def served_store(tmp_path_factory):
+    """``name -> (graph, index, store_path)``, built lazily, cached."""
+    root = tmp_path_factory.mktemp("serve_stores")
+    built = {}
+
+    def _get(name):
+        if name not in built:
+            graph = CSRGraph.from_edgelist(SERVE_GRAPHS[name]())
+            path = root / f"{name}.eqtsidx"
+            result = build_index(graph, "afforest", store_path=path)
+            built[name] = (graph, result.index, path)
+        return built[name]
+
+    return _get

@@ -1,0 +1,138 @@
+"""Concurrency regression: journal appends racing reader replay.
+
+A writer thread publishes insert/remove batches through
+``DynamicEquiTruss.publish_to`` while reader threads (each with its own
+:func:`attach_store` view and a cached engine) loop
+``refresh(); query()``. The attached index only moves at refresh
+points and refresh applies whole journal entries, so the contract is:
+**every recorded answer matches the index at the generation the store
+reported** — i.e. always a pre- or post-batch state, never a torn
+in-between one, and never a stale cache entry from a previous
+generation.
+
+The per-generation oracle is rebuilt after the fact by replaying the
+same journal one entry at a time on a fresh dynamic index (the
+replay-equals-rebuild equivalence itself is pinned in
+``test_journal.py``).
+"""
+
+import threading
+import time
+
+import numpy as np
+
+from repro.equitruss.dynamic import DynamicEquiTruss
+from repro.equitruss.pipeline import build_index
+from repro.graph import CSRGraph
+from repro.graph.generators import erdos_renyi_gnm
+from repro.serve.protocol import serialize_communities
+from repro.store import attach_store
+from repro.store.journal import JournalReader, StoreJournal, default_journal_path
+
+PROBES = ((0, 3), (5, 3), (17, 3), (33, 4), (64, 4), (101, 3))
+BATCHES = 8
+
+
+def _answers(engine_like, probes):
+    """(vertex, k) → wire-shape communities via any ``query`` callable."""
+    return {
+        (v, k): serialize_communities(engine_like(v, k)) for v, k in probes
+    }
+
+
+def test_refresh_races_journal_appends_but_answers_stay_consistent(tmp_path):
+    g = CSRGraph.from_edgelist(erdos_renyi_gnm(120, 700, seed=3))
+    store_path = tmp_path / "g.eqtsidx"
+    build_index(g, "afforest", store_path=store_path)
+
+    stop = threading.Event()
+    records = []  # (generation, vertex, k, communities)
+    records_lock = threading.Lock()
+    errors = []
+
+    def writer():
+        try:
+            journal = StoreJournal.for_store(store_path)
+            dyn = DynamicEquiTruss(g, "afforest")
+            dyn.publish_to(journal)
+            rng = np.random.default_rng(7)
+            for i in range(BATCHES):
+                if i % 3 == 2:
+                    take = rng.integers(0, g.num_edges, size=2)
+                    dyn.remove_edges(
+                        g.edges.u[take].copy(), g.edges.v[take].copy()
+                    )
+                else:
+                    us = rng.integers(0, g.num_vertices, size=4)
+                    vs = rng.integers(0, g.num_vertices, size=4)
+                    keep = us != vs
+                    dyn.insert_edges(us[keep], vs[keep])
+                time.sleep(0.01)
+        except BaseException as exc:
+            errors.append(exc)
+        finally:
+            stop.set()
+
+    def reader(seed):
+        try:
+            with attach_store(store_path) as store:
+                # cached engine: refresh must also invalidate results
+                engine = store.engine(cache_size=64)
+                while True:
+                    done = stop.is_set()
+                    store.refresh()
+                    generation = store.generation
+                    for vertex, k in PROBES[seed % 2::2]:
+                        got = serialize_communities(
+                            engine.query(vertex, k, record=False)
+                        )
+                        with records_lock:
+                            records.append((generation, vertex, k, got))
+                    if done and store.pending_updates() == 0:
+                        return
+        except BaseException as exc:
+            errors.append(exc)
+
+    threads = [threading.Thread(target=writer)] + [
+        threading.Thread(target=reader, args=(i,)) for i in range(2)
+    ]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join(timeout=300)
+        assert not t.is_alive(), "refresh/append race wedged a thread"
+    assert not errors, errors
+
+    # ---- sequential per-generation oracle from the same journal
+    base = 1
+    entries = JournalReader(
+        default_journal_path(store_path), base_generation=base,
+        seen_generation=base,
+    ).poll()
+    assert len(entries) == BATCHES
+    oracle_dyn = DynamicEquiTruss(g, "afforest")
+    from repro.community import search_communities
+
+    oracles = {
+        base: _answers(
+            lambda v, k: search_communities(oracle_dyn.index, v, k), PROBES
+        )
+    }
+    for entry in entries:
+        if entry.op == "insert":
+            oracle_dyn.insert_edges(entry.u, entry.v)
+        else:
+            oracle_dyn.remove_edges(entry.u, entry.v)
+        oracles[entry.generation] = _answers(
+            lambda v, k: search_communities(oracle_dyn.index, v, k), PROBES
+        )
+
+    assert records
+    generations_seen = {gen for gen, _, _, _ in records}
+    assert generations_seen <= set(oracles)
+    # readers converged on the fully-applied journal
+    assert max(generations_seen) == base + BATCHES
+    for generation, vertex, k, got in records:
+        assert got == oracles[generation][(vertex, k)], (
+            generation, vertex, k
+        )

@@ -297,3 +297,55 @@ def test_store_commands_reject_garbage(tmp_path, capsys):
     assert main(["attach", str(bogus)]) == 1
     err = capsys.readouterr().err
     assert "FAILED" in err
+
+
+def test_serve_and_loadgen_roundtrip(tmp_path, capsys):
+    import json
+    import threading
+    import time
+
+    graph_path = tmp_path / "g.npz"
+    store_path = tmp_path / "g.eqtsidx"
+    endpoint = tmp_path / "endpoint.txt"
+    assert main(["generate", "gnm", "--n", "60", "--m", "320",
+                 "--seed", "9", "--out", str(graph_path)]) == 0
+    assert main(["index", str(graph_path), "--out", str(tmp_path / "i.npz"),
+                 "--store-out", str(store_path)]) == 0
+    capsys.readouterr()
+
+    rc = {}
+    server = threading.Thread(
+        target=lambda: rc.setdefault("serve", main(
+            ["serve", str(store_path), "--shards", "2", "--duration", "15",
+             "--endpoint-file", str(endpoint)]
+        )),
+        daemon=True,
+    )
+    server.start()
+    deadline = time.time() + 30
+    while not endpoint.exists() and time.time() < deadline:
+        time.sleep(0.05)
+    assert endpoint.exists(), "serve never wrote its endpoint file"
+    host, port = endpoint.read_text().split()
+    capsys.readouterr()  # drain the serve thread's startup banner
+
+    assert main(["loadgen", "--host", host, "--port", port,
+                 "--mode", "closed", "--clients", "2", "--seconds", "1",
+                 "--json"]) == 0
+    out = capsys.readouterr().out
+    report = json.loads(out[out.index("{"):])
+    assert report["mode"] == "closed" and report["ok"] > 0
+    assert report["p99_ms"] is not None
+
+    assert main(["loadgen", "--host", host, "--port", port,
+                 "--mode", "open", "--rate", "40", "--seconds", "1"]) == 0
+    out = capsys.readouterr().out
+    assert "open load" in out and "qps achieved" in out
+
+    # flag validation + unreachable frontend are typed failures
+    assert main(["loadgen", "--host", host, "--port", port,
+                 "--mode", "open"]) == 2
+    assert main(["loadgen", "--host", "127.0.0.1", "--port", "1",
+                 "--mode", "closed", "--seconds", "0.2"]) == 1
+    server.join(timeout=60)
+    assert rc.get("serve") == 0
