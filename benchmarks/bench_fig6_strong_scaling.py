@@ -101,6 +101,7 @@ def run_backend_sweep():
             "fig6_backend_sweep", SWEEP_NETWORK, SWEEP_VARIANT, backend, workers,
             elapsed, mode="measured",
             kernels=res.breakdown.seconds, identical_to_serial=bool(same),
+            partition=ctx.partition,
         )
     # modeled T(p) reference points from the serial instrumented run,
     # so the snapshot carries the scaling expectation next to the

@@ -35,9 +35,27 @@ def test_triangle_enumeration(benchmark, w):
     assert tri.count == w.triangles.count
 
 
-def test_truss_decomposition(benchmark, w):
-    dec = benchmark(lambda: truss_decomposition(w.graph, triangles=w.triangles))
+@pytest.mark.parametrize("peeling", ["bucket", "scan"])
+def test_truss_decomposition(benchmark, w, peeling):
+    dec = benchmark(
+        lambda: truss_decomposition(w.graph, triangles=w.triangles, peeling=peeling)
+    )
     assert dec.kmax == w.decomp.kmax
+    benchmark.extra_info["peeling"] = peeling
+    benchmark.extra_info["level_scans"] = dec.level_scans
+
+
+@pytest.mark.parametrize("build", ["fused", "keyed"])
+def test_csr_init(benchmark, w, build):
+    """The Init kernel: fused single-pass CSR build vs the legacy
+    two-key-sort build it replaced (kept as the oracle)."""
+    from repro.graph.csr import CSRGraph, _from_edgelist_keyed
+
+    edges = w.graph.edges
+    fn = CSRGraph.from_edgelist if build == "fused" else _from_edgelist_keyed
+    g = benchmark(fn, edges)
+    assert g.num_edges == w.graph.num_edges
+    benchmark.extra_info["build"] = build
 
 
 def test_level_structures(benchmark, w):

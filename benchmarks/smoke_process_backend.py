@@ -34,6 +34,7 @@ from pathlib import Path
 WORKER_COUNTERS = (
     "repro.triangles.support_updates",
     "repro.truss.support_decrements",
+    "repro.truss.bucket_moves",
     "repro.equitruss.superedge_candidates",
 )
 
@@ -129,12 +130,14 @@ def main(argv: list[str] | None = None) -> int:
     snap = PerfSnapshot("pr6", path=args.out)
     snap.add_run("ci_smoke", "gnm_500_5000", "afforest", "serial", 1,
                  t_serial, mode="measured",
-                 kernels=serial.breakdown.seconds)
+                 kernels=serial.breakdown.seconds,
+                 partition=serial_ctx.partition)
     snap.add_run("ci_smoke", "gnm_500_5000", "afforest", "process", args.workers,
                  t_process, mode="measured",
                  kernels={**process.breakdown.seconds, **per_worker},
                  identical_to_serial=not failures,
-                 worker_spans=len(worker_spans))
+                 worker_spans=len(worker_spans),
+                 partition=proc_ctx.partition)
     snap.derive("pr6.worker_counters_bit_exact", counters_exact)
     snap.derive("pr6.worker_spans_with_children",
                 len(worker_spans) - len(empty))

@@ -501,50 +501,77 @@ class DtypeSafety(Rule):
                 out.add(node.target.id)
         return out
 
+    def _offending_key_binop(self, node: ast.AST, guarded: set[str]) -> bool:
+        """Whether ``node`` is an unguarded ``a * n + b`` key expression."""
+        if not (isinstance(node, ast.BinOp) and isinstance(node.op, ast.Add)):
+            return False
+        if isinstance(node.left, ast.BinOp) and isinstance(node.left.op, ast.Mult):
+            mult, other = node.left, node.right
+        elif isinstance(node.right, ast.BinOp) and isinstance(
+            node.right.op, ast.Mult
+        ):
+            mult, other = node.right, node.left
+        else:
+            return False
+        operands = (mult.left, mult.right, other)
+        # Plain numeric constants mean scalar arithmetic, not keys.
+        if any(
+            isinstance(o, ast.Constant)
+            and isinstance(o.value, (int, float, complex))
+            for o in operands
+        ):
+            return False
+        if any(
+            isinstance(o, ast.Constant) and isinstance(o.value, float)
+            for sub in operands
+            for o in ast.walk(sub)
+        ):
+            return False  # float math cannot be an integer key
+        if self._guarded_expr(node):
+            return False
+        if any(isinstance(o, ast.Name) and o.id in guarded for o in operands):
+            return False
+        return True
+
+    def _module_level_nodes(self, tree: ast.Module) -> Iterator[ast.AST]:
+        """Every AST node outside any function body (class bodies count)."""
+
+        def visit(node: ast.AST) -> Iterator[ast.AST]:
+            for child in ast.iter_child_nodes(node):
+                if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                    continue
+                yield child
+                yield from visit(child)
+
+        yield from visit(tree)
+
+    MESSAGE = (
+        "key-style arithmetic `a * n + b` without an int64/"
+        "DtypePolicy guard — wraps at n**2 > 2**31 when the "
+        "operands are int32"
+    )
+
     def check(self, mod: ModuleInfo, index: ProjectIndex) -> Iterator[Finding]:
         if mod.package not in DTYPE_PACKAGES:
             return
         for fn, _top in _walk_functions(mod.tree):
             guarded = self._guarded_names(fn)
             for node in ast.walk(fn):
-                if not (isinstance(node, ast.BinOp) and isinstance(node.op, ast.Add)):
-                    continue
-                if isinstance(node.left, ast.BinOp) and isinstance(
-                    node.left.op, ast.Mult
-                ):
-                    mult, other = node.left, node.right
-                elif isinstance(node.right, ast.BinOp) and isinstance(
-                    node.right.op, ast.Mult
-                ):
-                    mult, other = node.right, node.left
-                else:
-                    continue
-                operands = (mult.left, mult.right, other)
-                # Plain numeric constants mean scalar arithmetic, not keys.
-                if any(
-                    isinstance(o, ast.Constant)
-                    and isinstance(o.value, (int, float, complex))
-                    for o in operands
-                ):
-                    continue
-                if any(
-                    isinstance(o, ast.Constant) and isinstance(o.value, float)
-                    for sub in operands
-                    for o in ast.walk(sub)
-                ):
-                    continue  # float math cannot be an integer key
-                if self._guarded_expr(node):
-                    continue
-                if any(
-                    isinstance(o, ast.Name) and o.id in guarded for o in operands
-                ):
-                    continue
-                yield mod.finding(
-                    self, node,
-                    "key-style arithmetic `a * n + b` without an int64/"
-                    "DtypePolicy guard — wraps at n**2 > 2**31 when the "
-                    "operands are int32",
-                )
+                if self._offending_key_binop(node, guarded):
+                    yield mod.finding(self, node, self.MESSAGE)
+        # module- and class-level statements (constants, dataclass
+        # defaults, comprehension one-liners) build keys too — the PR 2
+        # overflow class is not confined to function bodies
+        module_guarded = {
+            t.id
+            for stmt in mod.tree.body
+            if isinstance(stmt, ast.Assign) and self._guarded_expr(stmt.value)
+            for t in stmt.targets
+            if isinstance(t, ast.Name)
+        }
+        for node in self._module_level_nodes(mod.tree):
+            if self._offending_key_binop(node, module_guarded):
+                yield mod.finding(self, node, self.MESSAGE)
 
 
 def default_rules() -> list[Rule]:

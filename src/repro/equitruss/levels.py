@@ -102,6 +102,61 @@ def _bounds(sorted_k: np.ndarray, k: int) -> tuple[int, int]:
     return lo, hi
 
 
+def _cat(parts: list) -> np.ndarray:
+    return np.concatenate(parts) if parts else np.empty(0, dtype=np.int64)
+
+
+def _triangle_columns(
+    triangles: TriangleSet, trussness: np.ndarray
+) -> tuple[np.ndarray, ...]:
+    """Columnar raw level tables: the fused Init's working layout.
+
+    Returns ``(hook_a, hook_b, hook_k, se_lo, se_hi, se_k, kmin)`` as
+    flat int64 arrays. Same element sequences as the stacked
+    :func:`triangle_tables` columns — part order and in-part order are
+    identical — but built column-wise: the three ``τ == κ`` masks are
+    computed once and reused (``τ > κ`` is their complement, since
+    ``τ ≥ κ`` by construction), and no (N, 3) row-major intermediate is
+    ever materialized, so the later per-level sort can take each column
+    with a cheap 1-D gather instead of reordering packed rows.
+    """
+    if trussness.shape[0] != triangles.num_edges:
+        raise InvalidParameterError("trussness length must equal num_edges")
+    sides = (triangles.e_uv, triangles.e_uw, triangles.e_vw)
+    taus = tuple(trussness[s] for s in sides)
+    kmin = np.minimum(np.minimum(taus[0], taus[1]), taus[2])
+    at_min = tuple(t == kmin for t in taus)
+
+    hook_a, hook_b, hook_k = [], [], []
+    for i, j in ((0, 1), (0, 2), (1, 2)):
+        mask = at_min[i] & at_min[j]
+        if mask.any():
+            hook_a.append(sides[i][mask])
+            hook_b.append(sides[j][mask])
+            hook_k.append(kmin[mask])
+
+    se_lo, se_hi, se_k = [], [], []
+    for hi_ix in range(3):
+        above = ~at_min[hi_ix]
+        if not above.any():
+            continue
+        # pick a representative κ-edge of the triangle as the low endpoint;
+        # when two sides sit at κ both are emitted (they land in the same
+        # supernode, so the superedge dedups — same as Algorithm 3).
+        for lo_ix in range(3):
+            if lo_ix == hi_ix:
+                continue
+            mask = above & at_min[lo_ix]
+            if mask.any():
+                se_lo.append(sides[lo_ix][mask])
+                se_hi.append(sides[hi_ix][mask])
+                se_k.append(taus[hi_ix][mask])
+    return (
+        _cat(hook_a), _cat(hook_b), _cat(hook_k),
+        _cat(se_lo), _cat(se_hi), _cat(se_k), kmin,
+    )
+
+
 def triangle_tables(
     triangles: TriangleSet, trussness: np.ndarray
 ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
@@ -112,48 +167,16 @@ def triangle_tables(
     (lo, hi, τ(hi)), and ``kmin`` the per-triangle minimum trussness.
     Exposed separately so the Baseline variant can re-derive pairs per
     round, as Algorithm 2 re-computes common neighbors inside its
-    hooking loop.
+    hooking loop. This is a stacking view over the columnar
+    :func:`_triangle_columns` builder, which the build pipeline uses
+    directly to avoid the (N, 3) packing.
     """
-    if trussness.shape[0] != triangles.num_edges:
-        raise InvalidParameterError("trussness length must equal num_edges")
-    sides = (triangles.e_uv, triangles.e_uw, triangles.e_vw)
-    taus = tuple(trussness[s] for s in sides)
-    kmin = np.minimum(np.minimum(taus[0], taus[1]), taus[2])
-
-    hook_parts = []
-    for i, j in ((0, 1), (0, 2), (1, 2)):
-        mask = (taus[i] == kmin) & (taus[j] == kmin)
-        if mask.any():
-            hook_parts.append(
-                np.stack([sides[i][mask], sides[j][mask], kmin[mask]], axis=1)
-            )
-    hooks = (
-        np.concatenate(hook_parts)
-        if hook_parts
-        else np.empty((0, 3), dtype=np.int64)
+    ha, hb, hk, slo, shi, sk, kmin = _triangle_columns(triangles, trussness)
+    hooks = np.stack([ha, hb, hk], axis=1) if ha.size else np.empty(
+        (0, 3), dtype=np.int64
     )
-
-    se_parts = []
-    for hi_ix in range(3):
-        above = taus[hi_ix] > kmin
-        if not above.any():
-            continue
-        # pick a representative κ-edge of the triangle as the low endpoint;
-        # when two sides sit at κ both are emitted (they land in the same
-        # supernode, so the superedge dedups — same as Algorithm 3).
-        for lo_ix in range(3):
-            if lo_ix == hi_ix:
-                continue
-            mask = above & (taus[lo_ix] == kmin)
-            if mask.any():
-                se_parts.append(
-                    np.stack(
-                        [sides[lo_ix][mask], sides[hi_ix][mask], taus[hi_ix][mask]],
-                        axis=1,
-                    )
-                )
-    ses = (
-        np.concatenate(se_parts) if se_parts else np.empty((0, 3), dtype=np.int64)
+    ses = np.stack([slo, shi, sk], axis=1) if slo.size else np.empty(
+        (0, 3), dtype=np.int64
     )
     return hooks, ses, kmin
 
@@ -172,14 +195,12 @@ def build_level_structures(
     context's edge dtype; the ``k`` columns stay int64 (trussness values
     are tiny either way and compare against Python ints).
     """
-    hooks, ses, _ = triangle_tables(triangles, trussness)
-    h_order = np.argsort(hooks[:, 2], kind="stable")
-    hooks = hooks[h_order]
-    s_order = np.argsort(ses[:, 2], kind="stable")
-    ses = ses[s_order]
-    levels = np.unique(
-        np.concatenate([hooks[:, 2], ses[:, 2], _populated_levels(trussness)])
-    )
+    ha, hb, hk, slo, shi, sk, _ = _triangle_columns(triangles, trussness)
+    h_order = np.argsort(hk, kind="stable")
+    ha, hb, hk = ha[h_order], hb[h_order], hk[h_order]
+    s_order = np.argsort(sk, kind="stable")
+    slo, shi, sk = slo[s_order], shi[s_order], sk[s_order]
+    levels = np.unique(np.concatenate([hk, sk, _populated_levels(trussness)]))
     if ctx is not None:
         from repro.parallel.context import ExecutionContext
 
@@ -195,20 +216,20 @@ def build_level_structures(
             from repro.parallel.context import ExecutionContext
 
             adj_dt = ExecutionContext.ensure(ctx).dtype.resolve(
-                max(triangles.num_edges, 2 * int(hooks.shape[0]), 1)
+                max(triangles.num_edges, 2 * int(ha.size), 1)
             )
         else:
             adj_dt = np.dtype(np.int64)
         adj_indptr, adj_neighbors = pairs_to_csr(
-            triangles.num_edges, hooks[:, 0], hooks[:, 1], index_dtype=adj_dt
+            triangles.num_edges, ha, hb, index_dtype=adj_dt
         )
     return LevelStructures(
-        hook_a=np.ascontiguousarray(hooks[:, 0], dtype=edge_dt),
-        hook_b=np.ascontiguousarray(hooks[:, 1], dtype=edge_dt),
-        hook_k=np.ascontiguousarray(hooks[:, 2]),
-        se_lo=np.ascontiguousarray(ses[:, 0], dtype=edge_dt),
-        se_hi=np.ascontiguousarray(ses[:, 1], dtype=edge_dt),
-        se_k=np.ascontiguousarray(ses[:, 2]),
+        hook_a=np.ascontiguousarray(ha, dtype=edge_dt),
+        hook_b=np.ascontiguousarray(hb, dtype=edge_dt),
+        hook_k=np.ascontiguousarray(hk),
+        se_lo=np.ascontiguousarray(slo, dtype=edge_dt),
+        se_hi=np.ascontiguousarray(shi, dtype=edge_dt),
+        se_k=np.ascontiguousarray(sk),
         levels=levels,
         adj_indptr=adj_indptr,
         adj_neighbors=adj_neighbors,

@@ -24,6 +24,51 @@ from repro.errors import GraphConstructionError
 from repro.graph.edgelist import EdgeList
 
 
+def _check_edge_order(edge_order, u: np.ndarray, v: np.ndarray, n: int) -> np.ndarray:
+    """Validate a cached backward permutation in O(m) (no sorting).
+
+    A valid ``edge_order`` selects every edge exactly once with the
+    (v, u) keys strictly increasing — strict increase of distinct keys
+    over m in-range entries already implies a permutation. Keys are
+    formed in int64 (``np.int64`` cast before the multiply) because
+    ``v·N + u`` wraps int32 once N exceeds ⌊√2³¹⌋.
+    """
+    order = np.ascontiguousarray(edge_order, dtype=np.int64)
+    m = u.size
+    if order.shape != (m,):
+        raise GraphConstructionError(
+            f"edge_order must have shape ({m},), got {order.shape}"
+        )
+    if m == 0:
+        return order
+    if int(order.min()) < 0 or int(order.max()) >= m:
+        raise GraphConstructionError("edge_order entries out of range")
+    keys = v[order] * np.int64(max(n, 1)) + u[order]
+    if keys.size > 1 and not bool(np.all(np.diff(keys) > 0)):
+        raise GraphConstructionError(
+            "edge_order is not the (v, u)-sorted edge permutation"
+        )
+    return order
+
+
+def _from_edgelist_keyed(edges: EdgeList, index_dtype=None) -> "CSRGraph":
+    """The pre-fusion two-pass build: one 2m-element keyed stable sort.
+
+    Kept as the measured baseline for the fused :meth:`CSRGraph.from_edgelist`
+    (``bench_build_path.py``) and as the oracle of its bit-identity tests.
+    """
+    n, m = edges.num_vertices, edges.num_edges
+    src = np.concatenate([edges.u, edges.v])
+    dst = np.concatenate([edges.v, edges.u])
+    eid = np.concatenate([np.arange(m, dtype=np.int64)] * 2)
+    order = np.argsort(src * np.int64(max(n, 1)) + dst, kind="stable")
+    src, dst, eid = src[order], dst[order], eid[order]
+    counts = np.bincount(src, minlength=n)
+    indptr = np.zeros(n + 1, dtype=np.int64)
+    np.cumsum(counts, out=indptr[1:])
+    return CSRGraph(indptr, dst, eid, edges, index_dtype=index_dtype)
+
+
 class CSRGraph:
     """Immutable undirected graph in CSR form.
 
@@ -40,7 +85,7 @@ class CSRGraph:
         The canonical :class:`EdgeList` this CSR was built from.
     """
 
-    __slots__ = ("indptr", "indices", "edge_ids", "edges", "_slot_keys")
+    __slots__ = ("indptr", "indices", "edge_ids", "edges", "_slot_keys", "_edge_order")
 
     def __init__(
         self,
@@ -69,6 +114,7 @@ class CSRGraph:
         if self.edge_ids.size != self.indices.size:
             raise GraphConstructionError("edge_ids must align with indices")
         self._slot_keys: np.ndarray | None = None
+        self._edge_order: np.ndarray | None = None
         for arr in (self.indptr, self.indices, self.edge_ids):
             arr.setflags(write=False)
 
@@ -76,12 +122,26 @@ class CSRGraph:
     # Construction
     # ------------------------------------------------------------------
     @classmethod
-    def from_edgelist(cls, edges: EdgeList, ctx=None, index_dtype=None) -> "CSRGraph":
+    def from_edgelist(
+        cls, edges: EdgeList, ctx=None, index_dtype=None, *, edge_order=None
+    ) -> "CSRGraph":
         """Build symmetric CSR adjacency from a canonical edge list.
 
-        The index dtype comes from ``index_dtype`` when given, else from
-        the context's dtype policy (``ExecutionContext.ensure(ctx)``
-        applied to ``|V|`` and ``2|E|``), else int64.
+        Fused single-pass Init: because the canonical edge list is
+        already sorted by (u, v), the forward half of every row is in
+        final order for free, and only the backward half needs a sort —
+        one stable ``argsort`` of the m destination ids instead of the
+        old 2m-element keyed (``src·N + dst``) sort. Row r's slots are
+        ``[cnt_b[r] backward neighbors u < r ascending | forward
+        neighbors v > r ascending]``, which is exactly the old build's
+        sorted row, so the three arrays are bit-identical.
+
+        ``edge_order`` optionally supplies that backward permutation
+        (edges sorted by (v, u) — the artifact the ``.eqtsidx`` store
+        caches as ``graph.edge_order``), skipping the sort entirely; it
+        is validated in O(m) before use. The index dtype comes from
+        ``index_dtype`` when given, else from the context's dtype
+        policy, else int64.
         """
         if index_dtype is None and ctx is not None:
             from repro.parallel.context import ExecutionContext
@@ -90,15 +150,59 @@ class CSRGraph:
                 edges.num_vertices, edges.num_edges
             )
         n, m = edges.num_vertices, edges.num_edges
-        src = np.concatenate([edges.u, edges.v])
-        dst = np.concatenate([edges.v, edges.u])
-        eid = np.concatenate([np.arange(m, dtype=np.int64)] * 2)
-        order = np.argsort(src * np.int64(max(n, 1)) + dst, kind="stable")
-        src, dst, eid = src[order], dst[order], eid[order]
-        counts = np.bincount(src, minlength=n)
+        u, v = edges.u, edges.v
+        if edge_order is None:
+            order = np.argsort(v, kind="stable")
+        else:
+            order = _check_edge_order(edge_order, u, v, n)
+        cnt_f = np.bincount(u, minlength=n)
+        cnt_b = np.bincount(v, minlength=n)
         indptr = np.zeros(n + 1, dtype=np.int64)
-        np.cumsum(counts, out=indptr[1:])
-        return cls(indptr, dst, eid, edges, index_dtype=index_dtype)
+        np.cumsum(cnt_f + cnt_b, out=indptr[1:])
+        eid = np.arange(m, dtype=np.int64)
+        indices = np.empty(2 * m, dtype=np.int64)
+        edge_ids = np.empty(2 * m, dtype=np.int64)
+        # forward half: edge i is the (i - fstart[u_i])-th forward
+        # neighbor of u_i (the canonical sort groups rows contiguously)
+        fstart = np.zeros(n, dtype=np.int64)
+        np.cumsum(cnt_f[:-1], out=fstart[1:])
+        slot = indptr[u] + cnt_b[u] + (eid - fstart[u])
+        indices[slot] = v
+        edge_ids[slot] = eid
+        # backward half: edges sorted by (v, u) fill each row's prefix
+        bstart = np.zeros(n, dtype=np.int64)
+        np.cumsum(cnt_b[:-1], out=bstart[1:])
+        vo = v[order]
+        slot = indptr[vo] + (eid - bstart[vo])
+        indices[slot] = u[order]
+        edge_ids[slot] = order
+        graph = cls(indptr, indices, edge_ids, edges, index_dtype=index_dtype)
+        order = np.ascontiguousarray(order, dtype=np.int64)
+        order.setflags(write=False)
+        graph._edge_order = order
+        return graph
+
+    def edge_sort_order(self) -> np.ndarray:
+        """Edge ids sorted by (v, u) — the backward-half permutation.
+
+        Equal to ``np.argsort(edges.v, kind="stable")`` but derived
+        *without sorting* when not already cached by
+        :meth:`from_edgelist`: the backward slots of each CSR row hold
+        precisely these edge ids in (row, neighbor) = (v, u) order, so
+        one boolean mask over the slot positions recovers the
+        permutation. This is the artifact the persistent store caches so
+        a rebuild on an attached dataset skips the Init sort.
+        """
+        if self._edge_order is None:
+            n, m = self.num_vertices, self.num_edges
+            cnt_b = np.bincount(self.edges.v, minlength=n)
+            deg = np.diff(self.indptr)
+            backward_end = np.repeat(self.indptr[:-1].astype(np.int64) + cnt_b, deg)
+            mask = np.arange(2 * m, dtype=np.int64) < backward_end
+            order = np.ascontiguousarray(self.edge_ids[mask], dtype=np.int64)
+            order.setflags(write=False)
+            self._edge_order = order
+        return self._edge_order
 
     # ------------------------------------------------------------------
     # Basic accessors
@@ -219,10 +323,12 @@ class CSRGraph:
         """Copy of this graph with the adjacency arrays in another dtype."""
         if np.dtype(index_dtype) == self.index_dtype:
             return self
-        return CSRGraph(
+        copy = CSRGraph(
             self.indptr, self.indices, self.edge_ids, self.edges,
             index_dtype=index_dtype,
         )
+        copy._edge_order = self._edge_order
+        return copy
 
     def to_scipy(self):
         """Symmetric adjacency as ``scipy.sparse.csr_array`` of int8 ones."""

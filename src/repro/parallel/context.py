@@ -193,14 +193,27 @@ class ExecutionContext:
     trace: Instrumentation = field(default_factory=Instrumentation)
     dtype: DtypePolicy | str = "auto"
     workspace: Workspace = field(default_factory=Workspace)
+    #: contiguous-range partitioning strategy for the fan-out kernels:
+    #: ``balanced`` cuts ranges by each kernel's per-item work estimate
+    #: (wedge counts for triangle enumeration), ``blocked`` by item
+    #: count. Both produce bit-identical results — only task boundaries
+    #: (and therefore worker balance) differ.
+    partition: str = "balanced"
     _handles: list = field(default_factory=list, repr=False)
     _closers: list = field(default_factory=list, repr=False)
 
     def __post_init__(self) -> None:
+        from repro.parallel.partition import PARTITION_STRATEGIES
+
         check_positive("num_workers", self.num_workers)
         if isinstance(self.backend, str):
             self.backend = get_backend(self.backend)
         self.dtype = DtypePolicy.of(self.dtype)
+        if self.partition not in PARTITION_STRATEGIES:
+            raise InvalidParameterError(
+                f"partition strategy must be one of {PARTITION_STRATEGIES}, "
+                f"got {self.partition!r}"
+            )
 
     # ------------------------------------------------------------------
     # Normalization
@@ -297,9 +310,23 @@ class ExecutionContext:
             "backend": backend_name(self.backend),
             "num_workers": self.num_workers,
             "dtype_policy": self.dtype.name,
+            "partition": self.partition,
             "ws_peak": int(self.workspace.high_water),
             "shm_high_water": int(pool.high_water) if pool is not None else 0,
         }
+
+    def partition_ranges(self, n: int, weights=None) -> list[tuple[int, int]]:
+        """Contiguous worker ranges over ``range(n)`` under this
+        context's partition strategy (empty ranges dropped)."""
+        from repro.parallel.partition import partition_ranges
+
+        return [
+            (lo, hi)
+            for lo, hi in partition_ranges(
+                n, self.num_workers, weights=weights, strategy=self.partition
+            )
+            if hi > lo
+        ]
 
     # ------------------------------------------------------------------
     # Lifecycle

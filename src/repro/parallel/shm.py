@@ -455,9 +455,23 @@ class ProcessBackend:
                 merge_envelope(envelopes[i], sp, registry)
             annotate = getattr(ctx, "annotate", None)
             if annotate is not None:
+                extra = {}
+                if work is not None and len(work):
+                    # estimated-work imbalance of the *partition* itself
+                    # (max/mean of the per-task work estimate) — on a
+                    # loaded 1-core CI host task seconds are noisy, so
+                    # this is the attr that proves a balanced split.
+                    wmean = sum(work) / len(work)
+                    extra["work_imbalance"] = round(
+                        (max(work) / wmean) if wmean > 0 else 1.0, 4
+                    )
+                partition = getattr(ctx, "partition", None)
+                if partition is not None:
+                    extra["partition"] = partition
                 annotate(
                     workers=len(tasks),
                     imbalance=round(float(imbalance), 4),
+                    **extra,
                 )
         else:
             for envelope in envelopes:

@@ -76,6 +76,14 @@ REQUIRED_SECTIONS = (
 #: supplied; their presence lets attach skip the union-find sweep).
 COMPONENT_SECTIONS = ("serve.levels", "serve.level_labels")
 
+#: Optional cached Init artifact: the edge permutation sorted by (v, u)
+#: — the only sort the fused CSR build performs. Stores carrying it let
+#: a rebuild on the attached dataset skip that sort entirely
+#: (:meth:`repro.store.reader.AttachedStore.rebuild_graph`). Optional
+#: sections need no format-version bump: readers ignore unknown names
+#: and only :data:`REQUIRED_SECTIONS` are enforced.
+EDGE_ORDER_SECTION = "graph.edge_order"
+
 
 def align_up(n: int, align: int = STORE_ALIGN) -> int:
     """Smallest multiple of ``align`` that is >= ``n``."""

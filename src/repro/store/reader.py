@@ -33,6 +33,7 @@ from repro.obs import metrics
 from repro.obs.histogram import DEFAULT_MS_BOUNDARIES
 from repro.store.format import (
     COMPONENT_SECTIONS,
+    EDGE_ORDER_SECTION,
     PRELUDE_BYTES,
     data_start,
     parse_header,
@@ -83,6 +84,7 @@ def inspect_store(path) -> dict:
         "payload_bytes": header["payload_bytes"],
         "file_bytes": path.stat().st_size,
         "has_components": all(n in sections for n in COMPONENT_SECTIONS),
+        "has_edge_order": EDGE_ORDER_SECTION in sections,
         "sections": {
             name: {"nbytes": e["nbytes"], "dtype": e["dtype"], "shape": e["shape"]}
             for name, e in sections.items()
@@ -230,6 +232,10 @@ class AttachedStore:
             edges,
             index_dtype=np.dtype(header["graph_dtype"]),
         )
+        if EDGE_ORDER_SECTION in sections:
+            # seed the fused-build sort cache with the mapped (read-only)
+            # permutation so edge_sort_order()/rebuild_graph() never sort
+            self.graph._edge_order = views[EDGE_ORDER_SECTION]
         self.index = EquiTrussIndex(
             graph=self.graph,
             trussness=views["index.trussness"],
@@ -280,6 +286,24 @@ class AttachedStore:
         )
         self._engines.append(eng)
         return eng
+
+    def rebuild_graph(self, ctx=None) -> CSRGraph:
+        """Rebuild a fresh (non-mapped) CSR over the attached edge list.
+
+        Uses the stored :data:`EDGE_ORDER_SECTION` permutation when the
+        store carries one, so the rebuild skips the fused Init's only
+        sort; without it the permutation is derived from the attached
+        CSR in O(m) — still sort-free. Bit-identical to building from
+        the raw edge list either way.
+        """
+        if self.closed:
+            raise StoreError(f"store {self.path} is closed")
+        return CSRGraph.from_edgelist(
+            self.graph.edges,
+            ctx=ctx,
+            index_dtype=self.graph.index_dtype,
+            edge_order=self.graph.edge_sort_order(),
+        )
 
     # ------------------------------------------------------------------
     # Staleness + journal replay

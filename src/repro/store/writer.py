@@ -26,7 +26,12 @@ import numpy as np
 
 from repro.equitruss.index import EquiTrussIndex
 from repro.obs import metrics
-from repro.store.format import COMPONENT_SECTIONS, REQUIRED_SECTIONS, build_header
+from repro.store.format import (
+    COMPONENT_SECTIONS,
+    EDGE_ORDER_SECTION,
+    REQUIRED_SECTIONS,
+    build_header,
+)
 
 #: Test-only fault-injection hook: called as ``hook(section_name)``
 #: after each section's bytes hit the tmp file. The crash-injection
@@ -47,9 +52,15 @@ def _fsync_dir(path: Path) -> None:
 
 
 def store_sections(
-    index: EquiTrussIndex, components=None
+    index: EquiTrussIndex, components=None, *, edge_order: bool = True
 ) -> dict[str, np.ndarray]:
-    """The section name → array mapping of one index (+ serving tables)."""
+    """The section name → array mapping of one index (+ serving tables).
+
+    ``edge_order=True`` (default) additionally persists the fused Init's
+    sorted-edge artifact (:data:`EDGE_ORDER_SECTION`) so rebuilds on the
+    attached dataset skip the build sort; it is derived from the CSR
+    without sorting when the graph did not cache it.
+    """
     graph = index.graph
     sections: dict[str, np.ndarray] = {
         "graph.u": graph.edges.u,
@@ -69,6 +80,8 @@ def store_sections(
         levels, labels = components.to_tables()
         sections[COMPONENT_SECTIONS[0]] = levels
         sections[COMPONENT_SECTIONS[1]] = labels
+    if edge_order:
+        sections[EDGE_ORDER_SECTION] = graph.edge_sort_order()
     return sections
 
 

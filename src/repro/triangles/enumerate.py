@@ -231,8 +231,17 @@ def _enumerate_process(
     Shares the DAG arrays once, fans each selection out as contiguous
     chunks, imports the per-worker append buffers, and concatenates them
     in worker order (bit-identical to the serial batch loop).
+
+    Chunk boundaries follow the context's partition strategy: under
+    ``balanced`` each selection is cut by its per-slot **wedge count**
+    (the out-degree of the expanded endpoint — the work the expansion
+    actually does) instead of the slot count, per the eager k-truss
+    load-balancing study (arXiv:2009.07929). Results concatenate in
+    range order either way, so the strategy never changes the output —
+    only the per-worker ``work`` attrs, which record the estimated wedge
+    share each task carried.
     """
-    from repro.parallel.partition import block_ranges
+    from repro.parallel.partition import range_weights
     from repro.parallel.shm import import_array
 
     pool = backend.pool
@@ -250,14 +259,14 @@ def _enumerate_process(
     parts_uv: list[np.ndarray] = []
     parts_uw: list[np.ndarray] = []
     parts_vw: list[np.ndarray] = []
-    num_workers = ctx.num_workers
     for si, (sel, from_head) in enumerate(selections):
         if sel.size == 0:
             continue
         _, sel_h = pool.share(f"enum.sel{si}", sel)
-        ranges = [
-            (lo, hi) for lo, hi in block_ranges(sel.size, num_workers) if hi > lo
-        ]
+        # per-slot wedge estimate: expanding slot s scans the expanded
+        # endpoint's out-neighborhood, so its cost is that out-degree
+        wedges = outdeg[heads[sel] if from_head else tails[sel]]
+        ranges = ctx.partition_ranges(sel.size, weights=wedges)
         tasks = [
             (*handles, sel_h, lo, hi, from_head, batch_slots, n)
             for lo, hi in ranges
@@ -267,7 +276,7 @@ def _enumerate_process(
             tasks,
             ctx=ctx,
             label="Worker",
-            work=[hi - lo for lo, hi in ranges],
+            work=range_weights(wedges, ranges),
             kernel="Enumerate",
         )
         for uv_h, uw_h, vw_h in results:

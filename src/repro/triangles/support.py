@@ -39,9 +39,13 @@ def parallel_support(
     backend is active; the vectorized serial accumulation otherwise.
 
     Bit-identical to :meth:`TriangleSet.support` — integer partial sums
-    reduce exactly regardless of the partitioning.
+    reduce exactly regardless of the partitioning. Items are whole
+    triangles (three ``bincount`` updates each, a uniform per-item
+    cost), so the context's ``balanced`` and ``blocked`` partition
+    strategies produce the same split here; the fan-out still routes
+    through :meth:`ExecutionContext.partition_ranges` so the strategy is
+    recorded uniformly on the worker spans.
     """
-    from repro.parallel.partition import block_ranges
     from repro.parallel.shm import active_process_backend
 
     backend = active_process_backend(ctx, triangles.count)
@@ -53,11 +57,7 @@ def parallel_support(
     uv_h = pool.share("sup.uv", triangles.e_uv)[1]
     uw_h = pool.share("sup.uw", triangles.e_uw)[1]
     vw_h = pool.share("sup.vw", triangles.e_vw)[1]
-    ranges = [
-        (lo, hi)
-        for lo, hi in block_ranges(triangles.count, ctx.num_workers)
-        if hi > lo
-    ]
+    ranges = ctx.partition_ranges(triangles.count)
     partials, out_h = pool.take("sup.partials", (len(ranges), m), np.int64)
     tasks = [
         (uv_h, uw_h, vw_h, lo, hi, m, out_h, row)

@@ -234,6 +234,34 @@ def test_rep005_accepts_guarded_forms(tmp_path):
     assert "REP005" not in rule_ids(findings)
 
 
+def test_rep005_flags_module_level_key_arithmetic(tmp_path):
+    """Key builds outside any function body (constants, class-level
+    expressions) are scanned too — the graph/ ingest path builds keys in
+    module scope in places."""
+    findings = lint(tmp_path, "graph", """\
+        import numpy as np
+
+        U = np.arange(4)
+        V = np.arange(4)
+        N_V = 70000
+        KEYS = U * N_V + V
+    """)
+    assert "REP005" in rule_ids(findings)
+
+
+def test_rep005_module_level_guards_accepted(tmp_path):
+    findings = lint(tmp_path, "graph", """\
+        import numpy as np
+
+        U = np.arange(4)
+        V = np.arange(4)
+        SPAN = np.int64(70000)
+        KEYS = U * SPAN + V
+        INLINE = U * np.int64(70000) + V
+    """)
+    assert "REP005" not in rule_ids(findings)
+
+
 # ----------------------------------------------------------------------
 # Suppression pragmas and baseline
 # ----------------------------------------------------------------------

@@ -4,7 +4,15 @@ import numpy as np
 import pytest
 
 from repro.errors import InvalidParameterError
-from repro.parallel.partition import block_ranges, cyclic_indices, guided_ranges
+from repro.parallel.partition import (
+    PARTITION_STRATEGIES,
+    block_ranges,
+    cyclic_indices,
+    guided_ranges,
+    partition_ranges,
+    range_weights,
+    weighted_ranges,
+)
 
 
 def test_block_ranges_cover_and_balance():
@@ -50,3 +58,64 @@ def test_guided_ranges_cover_and_decrease():
 def test_guided_ranges_min_chunk():
     chunks = guided_ranges(100, 50, min_chunk=10)
     assert all(hi - lo >= 10 or hi == 100 for lo, hi in chunks)
+
+
+def _assert_cover(ranges, n, parts):
+    assert len(ranges) == parts
+    assert ranges[0][0] == 0 and ranges[-1][1] == n
+    for (a, b), (c, d) in zip(ranges, ranges[1:]):
+        assert b == c
+
+
+def test_weighted_ranges_cover_any_weights():
+    rng = np.random.default_rng(0)
+    for n in (0, 1, 7, 100, 1000):
+        for parts in (1, 3, 8):
+            w = rng.integers(0, 50, size=n)
+            _assert_cover(weighted_ranges(w, parts), n, parts)
+
+
+def test_weighted_ranges_balances_skewed_work():
+    # one heavy hub at the front: item-count splitting gives worker 0
+    # nearly all the work; weight splitting shares it near-evenly
+    w = np.ones(1000)
+    w[:10] = 500.0
+    parts = 4
+    ranges = weighted_ranges(w, parts)
+    shares = [w[lo:hi].sum() for lo, hi in ranges]
+    total = w.sum()
+    assert max(shares) <= total / parts + w.max()
+    blocked = [w[lo:hi].sum() for lo, hi in block_ranges(w.size, parts)]
+    assert max(shares) < max(blocked)
+
+
+def test_weighted_ranges_zero_weights_degrade_to_blocked():
+    assert weighted_ranges(np.zeros(12), 4) == block_ranges(12, 4)
+    assert weighted_ranges([], 3) == [(0, 0)] * 3
+
+
+def test_weighted_ranges_validation():
+    with pytest.raises(InvalidParameterError):
+        weighted_ranges([1.0, -1.0], 2)
+    with pytest.raises(InvalidParameterError):
+        weighted_ranges(np.ones((2, 2)), 2)
+    with pytest.raises(InvalidParameterError):
+        weighted_ranges(np.ones(4), 0)
+
+
+def test_partition_ranges_dispatch():
+    w = np.array([10, 1, 1, 1, 1, 1, 1, 10])
+    assert partition_ranges(8, 2, weights=w, strategy="balanced") == \
+        weighted_ranges(w, 2)
+    assert partition_ranges(8, 2, weights=w, strategy="blocked") == \
+        block_ranges(8, 2)
+    assert partition_ranges(8, 2, strategy="balanced") == block_ranges(8, 2)
+    with pytest.raises(InvalidParameterError):
+        partition_ranges(8, 2, strategy="best")
+    assert "balanced" in PARTITION_STRATEGIES
+
+
+def test_range_weights_sums_per_range():
+    w = np.arange(10)
+    ranges = [(0, 3), (3, 3), (3, 10)]
+    assert range_weights(w, ranges) == [3, 0, 42]

@@ -173,3 +173,65 @@ def test_variants_write_identical_payloads(tmp_path):
             for name, meta in sorted(header["sections"].items())
         ))
     assert len(digests) == 1
+
+
+# ----------------------------------------------------------------------
+# Cached Init artifact: the graph.edge_order section
+# ----------------------------------------------------------------------
+
+def test_store_carries_edge_order_and_rebuild_skips_sort(tmp_path):
+    from repro.graph.csr import _from_edgelist_keyed
+    from repro.store.format import EDGE_ORDER_SECTION
+
+    g = _graph("er")
+    result = build_index(g, "coptimal", store_path=tmp_path / "g.eqtsidx")
+    info = inspect_store(result.store_path)
+    assert info["has_edge_order"]
+    assert EDGE_ORDER_SECTION in info["sections"]
+    with attach_store(result.store_path, verify=True) as store:
+        mapped = store.graph._edge_order
+        assert mapped is not None and not mapped.flags.writeable
+        expected = np.argsort(np.asarray(g.edges.v), kind="stable")
+        assert np.array_equal(mapped, expected)
+        # edge_sort_order() must serve the mapped section, not re-sort
+        assert store.graph.edge_sort_order() is mapped
+        rebuilt = store.rebuild_graph()
+        ref = _from_edgelist_keyed(g.edges)
+        assert np.array_equal(np.asarray(rebuilt.indptr), np.asarray(ref.indptr))
+        assert np.array_equal(np.asarray(rebuilt.indices), np.asarray(ref.indices))
+        assert np.array_equal(
+            np.asarray(rebuilt.edge_ids), np.asarray(ref.edge_ids)
+        )
+
+
+def test_attach_tolerates_store_without_edge_order(tmp_path):
+    """Stores written before (or without) the section attach fine and
+    derive the permutation from the mapped CSR on demand."""
+    from repro.store.writer import store_sections, write_store
+
+    g = _graph("paper")
+    index = build_index(g, "afforest").index
+    sections = store_sections(index, edge_order=False)
+    from repro.store.format import EDGE_ORDER_SECTION
+
+    assert EDGE_ORDER_SECTION not in sections
+    import repro.store.writer as writer_mod
+
+    orig = writer_mod.store_sections
+    writer_mod.store_sections = lambda idx, components=None: store_sections(
+        idx, components, edge_order=False
+    )
+    try:
+        write_store(index, tmp_path / "old.eqtsidx")
+    finally:
+        writer_mod.store_sections = orig
+    info = inspect_store(tmp_path / "old.eqtsidx")
+    assert not info["has_edge_order"]
+    with attach_store(tmp_path / "old.eqtsidx", verify=True) as store:
+        assert store.graph._edge_order is None
+        expected = np.argsort(np.asarray(g.edges.v), kind="stable")
+        assert np.array_equal(store.graph.edge_sort_order(), expected)
+        rebuilt = store.rebuild_graph()
+        assert np.array_equal(
+            np.asarray(rebuilt.indptr), np.asarray(store.graph.indptr)
+        )

@@ -1,0 +1,148 @@
+"""Equivalence properties of the bucketed peeler and balanced partitions.
+
+The PKT-style bucket schedule, the legacy level-scan schedule, and the
+serial reference must be bit-identical — same trussness, same support,
+same number of peel rounds — on every backend, under either partition
+strategy, and regardless of the index dtype. These are equality tests,
+not approximate ones: the bucket queue peels exactly the
+``support < k - 2`` frontier each round in ascending edge-id order,
+which is the same frontier sequence the scan schedule computes.
+"""
+
+import numpy as np
+import pytest
+
+from repro.equitruss.pipeline import build_index
+from repro.graph import CSRGraph
+from repro.graph.generators import (
+    erdos_renyi_gnm,
+    paper_example_graph,
+    rmat_graph,
+)
+from repro.parallel.context import ExecutionContext
+from repro.parallel.shm import ProcessBackend, process_backend_available
+from repro.triangles.enumerate import enumerate_triangles
+from repro.triangles.support import compute_support
+from repro.truss.decompose import truss_decomposition, truss_decomposition_serial
+
+needs_fork = pytest.mark.skipif(
+    not process_backend_available(),
+    reason="fork or POSIX shared memory unavailable",
+)
+
+GRAPHS = {
+    "er": lambda: erdos_renyi_gnm(300, 2600, seed=11),
+    "rmat": lambda: rmat_graph(8, 8, seed=5),
+    "paper": paper_example_graph,
+}
+VARIANTS = ("baseline", "coptimal", "afforest")
+
+
+def _graph(name):
+    return CSRGraph.from_edgelist(GRAPHS[name]())
+
+
+def _contexts(partition="balanced"):
+    yield "serial", lambda: ExecutionContext(backend="serial", partition=partition)
+    yield "thread", lambda: ExecutionContext(
+        backend="thread", num_workers=3, partition=partition
+    )
+    if process_backend_available():
+        yield "process", lambda: ExecutionContext(
+            backend=ProcessBackend(num_workers=3, min_items=0),
+            num_workers=3,
+            partition=partition,
+        )
+
+
+@pytest.mark.parametrize("name", sorted(GRAPHS))
+def test_bucket_equals_scan_equals_serial(name):
+    g = _graph(name)
+    ref = truss_decomposition_serial(g)
+    scan = truss_decomposition(g, peeling="scan")
+    bucket = truss_decomposition(g, peeling="bucket")
+    for d in (scan, bucket):
+        assert np.array_equal(d.trussness, ref.trussness), name
+        assert np.array_equal(d.support, ref.support), name
+    assert bucket.peel_rounds == scan.peel_rounds, name
+    assert bucket.level_scans == 0
+    assert scan.level_scans > 0 or scan.kmax == 2
+
+
+@pytest.mark.process_backend
+@needs_fork
+@pytest.mark.parametrize("peeling", ("bucket", "scan"))
+@pytest.mark.parametrize("name", sorted(GRAPHS))
+def test_peeling_modes_bit_identical_across_backends(name, peeling):
+    g = _graph(name)
+    ref = truss_decomposition_serial(g)
+    for label, make in _contexts():
+        with make() as ctx:
+            got = truss_decomposition(g, ctx=ctx, peeling=peeling)
+        assert np.array_equal(got.trussness, ref.trussness), (name, label)
+        assert np.array_equal(got.support, ref.support), (name, label)
+        if peeling == "bucket":
+            assert got.level_scans == 0, (name, label)
+
+
+@pytest.mark.process_backend
+@needs_fork
+@pytest.mark.parametrize("name", sorted(GRAPHS))
+def test_partition_strategies_bit_identical(name):
+    """``balanced`` and ``blocked`` splits feed the same ordered
+    concatenation — triangles, support, and trussness cannot differ."""
+    g = _graph(name)
+    results = {}
+    for strategy in ("balanced", "blocked"):
+        for label, make in _contexts(partition=strategy):
+            with make() as ctx:
+                tris = enumerate_triangles(g, ctx=ctx)
+                sup = compute_support(g, triangles=tris, ctx=ctx)
+                tau = truss_decomposition(g, triangles=tris, ctx=ctx).trussness
+            results[(strategy, label)] = (tris, sup, tau)
+    (ref_tris, ref_sup, ref_tau) = results[("balanced", "serial")]
+    for key, (tris, sup, tau) in results.items():
+        for attr in ("e_uv", "e_uw", "e_vw"):
+            assert np.array_equal(
+                getattr(tris, attr), getattr(ref_tris, attr)
+            ), (name, key, attr)
+        assert np.array_equal(sup, ref_sup), (name, key)
+        assert np.array_equal(tau, ref_tau), (name, key)
+
+
+@pytest.mark.parametrize("name", sorted(GRAPHS))
+def test_dtype_invariance_int32_int64(name):
+    """int32-indexed and int64-indexed builds agree element-for-element
+    through the fused Init and both peeling schedules."""
+    edges = GRAPHS[name]()
+    results = {}
+    for dtype in ("int32", "int64"):
+        ctx = ExecutionContext(dtype=dtype)
+        g = CSRGraph.from_edgelist(edges, ctx=ctx)
+        for peeling in ("bucket", "scan"):
+            d = truss_decomposition(g, ctx=ctx, peeling=peeling)
+            results[(dtype, peeling)] = (d.trussness, d.support, d.peel_rounds)
+    ref = results[("int64", "bucket")]
+    for key, (tau, sup, rounds) in results.items():
+        assert np.array_equal(tau, ref[0]), (name, key)
+        assert np.array_equal(sup, ref[1]), (name, key)
+        assert rounds == ref[2], (name, key)
+
+
+@pytest.mark.process_backend
+@needs_fork
+@pytest.mark.parametrize("variant", VARIANTS)
+def test_index_identical_under_bucket_and_balanced(variant):
+    """End-to-end: every variant builds the same index under the new
+    defaults (bucket peeling + balanced partitions, process backend) as
+    the serial blocked/scan legacy path."""
+    g = _graph("er")
+    legacy = ExecutionContext(backend="serial", partition="blocked")
+    ref = build_index(g, variant, ctx=legacy).index
+    with ExecutionContext(
+        backend=ProcessBackend(num_workers=3, min_items=0),
+        num_workers=3,
+        partition="balanced",
+    ) as ctx:
+        got = build_index(g, variant, ctx=ctx).index
+    assert got == ref, variant

@@ -15,6 +15,7 @@ from repro.graph.generators import (
     planted_community_graph,
     rmat_graph,
 )
+from repro.errors import InvalidParameterError
 from repro.parallel import ExecutionPolicy
 from repro.truss import (
     k_truss_edge_mask,
@@ -160,25 +161,39 @@ def test_level_skip_jumps_over_trussness_gaps():
     u = np.concatenate([k12.u, np.array([12, 12, 13])])
     v = np.concatenate([k12.v, np.array([13, 14, 14])])
     g = graph_of(build_edgelist(u, v, num_vertices=15))
-    d = truss_decomposition(g)
-    assert np.array_equal(d.trussness, truss_decomposition_serial(g).trussness)
+    ref = truss_decomposition_serial(g).trussness
+    d = truss_decomposition(g, peeling="scan")
+    assert np.array_equal(d.trussness, ref)
     assert d.kmax == 12
     # one-per-level scanning would cost at least kmax - 2 = 10 scans;
     # skipping pays ~2 per populated level (one empty probe, one peel)
     assert d.level_scans < d.kmax - 2
     assert d.level_scans <= 5
+    # bucketed peeling jumps the same gap without any rescans at all
+    b = truss_decomposition(g)
+    assert np.array_equal(b.trussness, ref)
+    assert b.peel_rounds == d.peel_rounds
+    assert b.level_scans == 0
 
 
 def test_level_skip_counts_on_dense_levels():
     # no gaps: level skipping must not change behavior on contiguous levels
     edges, _ = planted_community_graph(3, 6, 8, p_intra=0.9, overlap=1, seed=5)
     g = graph_of(edges)
-    d = truss_decomposition(g)
+    d = truss_decomposition(g, peeling="scan")
     assert np.array_equal(d.trussness, truss_decomposition_serial(g).trussness)
     assert d.level_scans >= d.k_classes().size
 
 
-def test_level_scans_default_zero_for_serial():
+def test_level_scans_zero_for_bucket_positive_for_scan():
     g = graph_of(complete_graph(5))
     assert truss_decomposition_serial(g).level_scans == 0
-    assert truss_decomposition(g).level_scans > 0
+    assert truss_decomposition(g, peeling="scan").level_scans > 0
+    # the default bucketed schedule never pays a full-edge rescan
+    assert truss_decomposition(g).level_scans == 0
+
+
+def test_peeling_mode_validation():
+    g = graph_of(complete_graph(5))
+    with pytest.raises(InvalidParameterError):
+        truss_decomposition(g, peeling="nope")
