@@ -23,8 +23,8 @@ from repro.analysis.engine import (
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="python -m repro.analysis",
-        description="AST contract linter for the repro kernel layer "
-        "(REP001-REP005)",
+        description="AST contract linter for the repro kernel and serving "
+        "layers (REP001-REP010)",
     )
     parser.add_argument(
         "paths", nargs="*", default=None,
@@ -47,8 +47,9 @@ def build_parser() -> argparse.ArgumentParser:
         help="comma-separated rule ids to run (default: all)",
     )
     parser.add_argument(
-        "--format", default="text", choices=["text", "json"],
-        help="finding output format",
+        "--format", default="text", choices=["text", "json", "sarif"],
+        help="finding output format (sarif: SARIF 2.1.0 for code-scanning "
+        "upload)",
     )
     parser.add_argument(
         "--list-rules", action="store_true",
@@ -58,15 +59,22 @@ def build_parser() -> argparse.ArgumentParser:
 
 
 def _select_rules(spec: str | None):
+    """Rules matching a ``--rules`` spec; ValueError on a bad spec."""
     from repro.analysis.rules import default_rules
 
     rules = default_rules()
     if spec is None:
         return rules
+    valid = ", ".join(r.id for r in rules)
     wanted = {r.strip().upper() for r in spec.split(",") if r.strip()}
+    if not wanted:
+        raise ValueError(f"--rules selected no rules; valid ids: {valid}")
     unknown = wanted - {r.id for r in rules}
     if unknown:
-        raise SystemExit(f"unknown rule id(s): {', '.join(sorted(unknown))}")
+        raise ValueError(
+            f"unknown rule id(s): {', '.join(sorted(unknown))}; "
+            f"valid ids: {valid}"
+        )
     return [r for r in rules if r.id in wanted]
 
 
@@ -77,6 +85,12 @@ def main(argv: list[str] | None = None) -> int:
             print(f"{rule_id}  {title}")
             print(f"        fix: {hint}")
         return 0
+
+    try:
+        rules = _select_rules(args.rules)
+    except ValueError as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
 
     root = find_repo_root()
     if args.paths:
@@ -97,7 +111,7 @@ def main(argv: list[str] | None = None) -> int:
         return 2
 
     try:
-        findings = run_lint(paths, rules=_select_rules(args.rules), root=root)
+        findings = run_lint(paths, rules=rules, root=root)
     except SyntaxError as exc:
         print(f"syntax error while parsing: {exc}", file=sys.stderr)
         return 2
@@ -121,7 +135,12 @@ def main(argv: list[str] | None = None) -> int:
         baseline = Baseline.load(bpath)
         new, stale = baseline.split(findings)
 
-    if args.format == "json":
+    if args.format == "sarif":
+        from repro.analysis.sarif import render_sarif
+
+        docs = [(r.id, r.title, r.hint) for r in rules]
+        print(json.dumps(render_sarif(new, docs), indent=2))
+    elif args.format == "json":
         print(json.dumps(
             {
                 "findings": [f.to_json() for f in new],

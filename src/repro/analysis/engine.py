@@ -301,10 +301,26 @@ def run_lint(
     findings: list[Finding] = []
     for mod in modules:
         for rule in active:
+            if getattr(rule, "project", False):
+                continue  # project rules run once, below
             for finding in rule.check(mod, index):
                 if finding.rule in mod.suppressed.get(finding.line, set()):
                     continue
                 findings.append(finding)
+    # Project rules see every module at once (cross-module conformance:
+    # dispatch tables vs the protocol module, metric names vs the docs
+    # catalogue, section names vs the store format table).
+    by_rel = {mod.rel: mod for mod in modules}
+    for rule in active:
+        if not getattr(rule, "project", False):
+            continue
+        for finding in rule.check_project(modules, index, root):
+            anchor = by_rel.get(finding.path)
+            if anchor is not None and finding.rule in anchor.suppressed.get(
+                finding.line, set()
+            ):
+                continue
+            findings.append(finding)
     findings.sort(key=lambda f: (f.path, f.line, f.rule, f.col))
     return findings
 
@@ -358,10 +374,34 @@ class Baseline:
         path.write_text(json.dumps(doc, indent=2) + "\n", encoding="utf-8")
 
     def split(self, findings: Sequence[Finding]) -> tuple[list[Finding], list[str]]:
-        """(new findings not in the baseline, stale baseline fingerprints)."""
+        """(new findings not in the baseline, stale baseline fingerprints).
+
+        Exact fingerprints (path + rule + snippet) are line-move
+        tolerant but not rename tolerant. A second, one-to-one matching
+        pass pairs each remaining new finding against a stale entry
+        with the same ``(rule, snippet)`` content, so moving a
+        grandfathered violation to a renamed file neither fails the run
+        nor leaves a stale entry behind — while a *duplicated*
+        violation (two copies, one baseline entry) still fails.
+        """
         seen = {f.fingerprint for f in findings}
         new = [f for f in findings if f.fingerprint not in self.entries]
-        stale = [fp for fp in self.entries if fp not in seen]
+        stale_fps = {fp for fp in self.entries if fp not in seen}
+        if new and stale_fps:
+            by_content: dict[tuple[str, str], list[str]] = {}
+            for fp in stale_fps:
+                e = self.entries[fp]
+                key = (str(e.get("rule", "")), str(e.get("snippet", "")))
+                by_content.setdefault(key, []).append(fp)
+            still_new: list[Finding] = []
+            for f in new:
+                bucket = by_content.get((f.rule, f.snippet))
+                if bucket:
+                    stale_fps.discard(bucket.pop(0))
+                else:
+                    still_new.append(f)
+            new = still_new
+        stale = [fp for fp in self.entries if fp in stale_fps]
         return new, stale
 
 

@@ -29,6 +29,11 @@ REP005    Dtype safety: ``u * n + v``-style key arithmetic must be
           PR 2 (``CSRGraph`` key dtypes).
 ========  =============================================================
 
+The serving/store contract rules (REP006–REP010: async safety, wire
+protocol, metric catalogue, and store section conformance) live in
+:mod:`repro.analysis.contracts`; :func:`default_rules` registers both
+sets.
+
 Suppress a deliberate violation inline with ``# repro: allow(REPnnn)``
 on the offending line, or grandfather it in ``analysis-baseline.json``
 with a note.
@@ -109,13 +114,33 @@ def _local_names(fn: ast.FunctionDef | ast.AsyncFunctionDef) -> set[str]:
 
 
 class Rule:
-    """Base class: rules yield findings for one module at a time."""
+    """Base class: rules yield findings for one module at a time.
+
+    Rules with ``project = True`` are *project rules*: instead of
+    per-module ``check`` calls they get one ``check_project`` call with
+    every loaded module, for conformance checks that compare modules
+    against each other (dispatch tables vs the protocol op vocabulary,
+    emitted metric names vs the docs catalogue, section-name literals
+    vs the store format table).
+    """
 
     id: str = "REP000"
     title: str = ""
     hint: str = ""
+    #: when True the engine calls ``check_project`` once instead of
+    #: ``check`` per module
+    project: bool = False
 
     def check(self, mod: ModuleInfo, index: ProjectIndex) -> Iterator[Finding]:
+        raise NotImplementedError
+        yield  # pragma: no cover
+
+    def check_project(
+        self,
+        modules: "list[ModuleInfo]",
+        index: ProjectIndex,
+        root: "object",
+    ) -> Iterator[Finding]:
         raise NotImplementedError
         yield  # pragma: no cover
 
@@ -576,10 +601,23 @@ class DtypeSafety(Rule):
 
 def default_rules() -> list[Rule]:
     """All registered rules, in id order."""
+    from repro.analysis.contracts import (
+        AsyncBlockingCalls,
+        FireAndForgetHandles,
+        MetricCatalogueConformance,
+        StoreSectionNames,
+        WireProtocolConformance,
+    )
+
     return [
         ProcessKernelPurity(),
         NoCrossProcessAtomics(),
         CtxThreading(),
         SpanMetricHygiene(),
         DtypeSafety(),
+        AsyncBlockingCalls(),
+        FireAndForgetHandles(),
+        WireProtocolConformance(),
+        MetricCatalogueConformance(),
+        StoreSectionNames(),
     ]

@@ -1,0 +1,98 @@
+"""SARIF 2.1.0 rendering of linter findings.
+
+One static-analysis run → one SARIF ``run`` whose driver carries every
+registered rule (id, contract, fix hint) and whose results point at
+repo-relative files, so ``python -m repro.analysis --format sarif``
+uploads straight into code-scanning UIs and findings annotate PR diffs.
+
+The baseline fingerprint travels in ``partialFingerprints`` under the
+``reproAnalysis/v1`` key, so external tooling can correlate a SARIF
+result with its ``analysis-baseline.json`` entry.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+from repro.analysis.engine import Finding
+
+SARIF_SCHEMA = (
+    "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/"
+    "Schemas/sarif-schema-2.1.0.json"
+)
+SARIF_VERSION = "2.1.0"
+FINGERPRINT_KEY = "reproAnalysis/v1"
+
+
+def render_sarif(
+    findings: Sequence[Finding],
+    rule_docs: Iterable[tuple[str, str, str]],
+) -> dict:
+    """A SARIF 2.1.0 document for ``findings``.
+
+    ``rule_docs`` is ``(id, title, hint)`` per registered rule (see
+    :func:`repro.analysis.engine.iter_rule_docs`); every rule is listed
+    even when clean, so the viewer can render the full contract set.
+    """
+    rules = [
+        {
+            "id": rule_id,
+            "name": rule_id,
+            "shortDescription": {"text": title},
+            "help": {"text": f"fix: {hint}"},
+            "defaultConfiguration": {"level": "error"},
+        }
+        for rule_id, title, hint in rule_docs
+    ]
+    rule_index = {r["id"]: i for i, r in enumerate(rules)}
+    results = [
+        {
+            "ruleId": f.rule,
+            **(
+                {"ruleIndex": rule_index[f.rule]}
+                if f.rule in rule_index
+                else {}
+            ),
+            "level": "error",
+            "message": {
+                "text": f"{f.message} (fix: {f.hint})" if f.hint else f.message
+            },
+            "partialFingerprints": {FINGERPRINT_KEY: f.fingerprint},
+            "locations": [
+                {
+                    "physicalLocation": {
+                        "artifactLocation": {
+                            "uri": f.path,
+                            "uriBaseId": "SRCROOT",
+                        },
+                        "region": {
+                            "startLine": f.line,
+                            "startColumn": max(f.col, 1),
+                            **(
+                                {"snippet": {"text": f.snippet}}
+                                if f.snippet
+                                else {}
+                            ),
+                        },
+                    }
+                }
+            ],
+        }
+        for f in findings
+    ]
+    return {
+        "$schema": SARIF_SCHEMA,
+        "version": SARIF_VERSION,
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": "repro.analysis",
+                        "rules": rules,
+                    }
+                },
+                "originalUriBaseIds": {"SRCROOT": {"uri": "file:///"}},
+                "results": results,
+            }
+        ],
+    }

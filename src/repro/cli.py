@@ -734,7 +734,7 @@ def build_parser() -> argparse.ArgumentParser:
 
     lint = sub.add_parser(
         "lint",
-        help="run the kernel-contract linter (alias of python -m repro.analysis)",
+        help="run the contract linter (alias of python -m repro.analysis)",
     )
     lint.add_argument("paths", nargs="*", default=[],
                       help="files or directories (default: src/repro)")
@@ -745,7 +745,8 @@ def build_parser() -> argparse.ArgumentParser:
                       metavar="PATH", help="grandfather the current findings")
     lint.add_argument("--rules", default=None, metavar="REP001,REP003",
                       help="comma-separated rule ids to run")
-    lint.add_argument("--format", default="text", choices=["text", "json"])
+    lint.add_argument("--format", default="text",
+                      choices=["text", "json", "sarif"])
     lint.add_argument("--list-rules", action="store_true",
                       help="print every rule id with its contract")
     lint.set_defaults(func=_cmd_lint)

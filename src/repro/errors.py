@@ -60,6 +60,15 @@ class BackpressureError(ServeError):
     """The frontend's admission limit rejected a request (retry later)."""
 
 
+class LoopStallError(ServeError):
+    """The event-loop stall detector caught a blocking callback.
+
+    Raised in strict mode (``REPRO_LOOP_CHECK=strict``) when a callback
+    held the serving loop longer than the configured threshold — the
+    runtime counterpart of the REP006 lint rule.
+    """
+
+
 class BackendError(ReproError):
     """A parallel execution backend failed or was misconfigured."""
 

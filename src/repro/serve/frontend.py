@@ -47,6 +47,7 @@ from typing import Any
 from repro.errors import (
     BackpressureError,
     InvalidParameterError,
+    LoopStallError,
     ReproError,
     ServeError,
     ShardUnavailableError,
@@ -62,6 +63,12 @@ COUNT_BOUNDARIES: tuple[float, ...] = (
     1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0, 128.0, 256.0, 512.0, 1024.0,
     4096.0,
 )
+
+#: Histogram fed by the opt-in event-loop stall detector
+#: (``REPRO_LOOP_CHECK=1``, :mod:`repro.analysis.stall`): one
+#: observation per callback that held the serving loop past the
+#: threshold.
+LOOP_STALL_METRIC = "repro.serve.frontend.loop_stall_ms"
 
 
 @dataclass(frozen=True)
@@ -634,24 +641,33 @@ async def run_frontend(
     stop_event: asyncio.Event | None = None,
 ) -> None:
     """Start a frontend and serve until ``duration``/``stop_event``/cancel."""
-    frontend = ServingFrontend(config)
-    await frontend.start()
-    if on_ready is not None:
-        on_ready(frontend)
+    from repro.analysis.stall import maybe_watchdog
+
+    watchdog = maybe_watchdog(metric=LOOP_STALL_METRIC)
     try:
-        if stop_event is not None and duration is not None:
-            try:
-                await asyncio.wait_for(stop_event.wait(), duration)
-            except asyncio.TimeoutError:
-                pass
-        elif stop_event is not None:
-            await stop_event.wait()
-        elif duration is not None:
-            await asyncio.sleep(duration)
-        else:
-            await asyncio.Event().wait()  # serve forever
+        # the constructor reads the store header from disk — off-loop
+        frontend = await asyncio.to_thread(ServingFrontend, config)
+        await frontend.start()
+        if on_ready is not None:
+            on_ready(frontend)
+        try:
+            if stop_event is not None and duration is not None:
+                try:
+                    await asyncio.wait_for(stop_event.wait(), duration)
+                except asyncio.TimeoutError:
+                    pass
+            elif stop_event is not None:
+                await stop_event.wait()
+            elif duration is not None:
+                await asyncio.sleep(duration)
+            else:
+                await asyncio.Event().wait()  # serve forever
+        finally:
+            await frontend.stop()
     finally:
-        await frontend.stop()
+        if watchdog is not None:
+            watchdog.uninstall()
+            watchdog.check()
 
 
 class FrontendThread:
@@ -668,6 +684,8 @@ class FrontendThread:
         self.host: str | None = None
         self.port: int | None = None
         self.frontend: ServingFrontend | None = None
+        #: live stall watchdog when ``REPRO_LOOP_CHECK`` is set
+        self.loop_watchdog = None
         self._ready = threading.Event()
         self._error: BaseException | None = None
         self._loop: asyncio.AbstractEventLoop | None = None
@@ -695,6 +713,9 @@ class FrontendThread:
                 pass
         self._thread.join(timeout=60.0)
         self._thread = None
+        if isinstance(self._error, LoopStallError):
+            error, self._error = self._error, None
+            raise error
 
     def _main(self) -> None:
         try:
@@ -705,17 +726,26 @@ class FrontendThread:
             self._ready.set()
 
     async def _amain(self) -> None:
+        from repro.analysis.stall import maybe_watchdog
+
         self._loop = asyncio.get_running_loop()
         self._stop_event = asyncio.Event()
-        frontend = ServingFrontend(self.config)
-        await frontend.start()
-        self.frontend = frontend
-        self.host, self.port = frontend.host, frontend.port
-        self._ready.set()
+        self.loop_watchdog = maybe_watchdog(metric=LOOP_STALL_METRIC)
         try:
-            await self._stop_event.wait()
+            # the constructor reads the store header from disk — off-loop
+            frontend = await asyncio.to_thread(ServingFrontend, self.config)
+            await frontend.start()
+            self.frontend = frontend
+            self.host, self.port = frontend.host, frontend.port
+            self._ready.set()
+            try:
+                await self._stop_event.wait()
+            finally:
+                await frontend.stop()
         finally:
-            await frontend.stop()
+            if self.loop_watchdog is not None:
+                self.loop_watchdog.uninstall()
+                self.loop_watchdog.check()
 
     def __enter__(self) -> "FrontendThread":
         return self.start()

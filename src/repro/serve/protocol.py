@@ -43,6 +43,35 @@ PROTOCOL_VERSION = 1
 #: a corrupt peer must not balloon the reader's buffer.
 MAX_FRAME_BYTES = 64 * 1024 * 1024
 
+# -- op vocabulary -----------------------------------------------------
+
+#: The handshake frame op a shard worker writes before serving.
+OP_READY = "ready"
+
+#: Ops the frontend accepts from clients. REP008 checks the frontend
+#: dispatch chain and the client helpers against this table — add the
+#: op here first, then a handler on every peer.
+FRONTEND_OPS: tuple[str, ...] = (
+    "query",
+    "ping",
+    "stats",
+    "metrics",
+    "refresh",
+)
+
+#: Ops a shard worker accepts on stdin (the frontend-facing superset:
+#: ``batch`` is the coalesced form of ``query``; ``shutdown`` ends the
+#: serve loop).
+SHARD_OPS: tuple[str, ...] = (
+    "batch",
+    "query",
+    "refresh",
+    "metrics",
+    "stats",
+    "ping",
+    "shutdown",
+)
+
 # -- error vocabulary --------------------------------------------------
 
 ERR_BACKPRESSURE = "backpressure"

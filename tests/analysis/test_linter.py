@@ -302,6 +302,48 @@ def test_baseline_grandfathers_and_survives_line_moves(tmp_path):
     assert len(new) == 1
 
 
+def test_baseline_survives_file_rename(tmp_path):
+    """A grandfathered finding stays grandfathered when its file moves.
+
+    The exact fingerprint embeds the repo-relative path, so a rename
+    misses it — the content fallback (rule + snippet, matched
+    one-to-one) must pick it up instead of resurfacing the finding.
+    """
+    f = write_module(tmp_path, "equitruss", """\
+        def pair_keys(u, v, n):
+            return u * n + v
+    """)
+    baseline = Baseline.from_findings(run_lint([f], root=tmp_path))
+
+    renamed = f.with_name("keys.py")
+    f.rename(renamed)
+    new, stale = baseline.split(run_lint([renamed], root=tmp_path))
+    assert new == [] and stale == []
+
+
+def test_baseline_rename_fallback_is_one_to_one(tmp_path):
+    """Content matching consumes one stale entry per finding, no more.
+
+    One baseline entry must absorb exactly one of two identical
+    violations in the renamed file — the duplicate is a real new
+    finding, not grandfathered by association.
+    """
+    f = write_module(tmp_path, "equitruss", """\
+        def pair_keys(u, v, n):
+            return u * n + v
+    """)
+    baseline = Baseline.from_findings(run_lint([f], root=tmp_path))
+
+    renamed = f.with_name("keys.py")
+    f.rename(renamed)
+    renamed.write_text(
+        renamed.read_text()
+        + "\n\ndef pair_keys2(u, v, n):\n    return u * n + v\n"
+    )
+    new, stale = baseline.split(run_lint([renamed], root=tmp_path))
+    assert len(new) == 1 and stale == []
+
+
 def test_baseline_reports_stale_entries(tmp_path):
     f = write_module(tmp_path, "equitruss", """\
         def pair_keys(u, v, n):
@@ -364,10 +406,18 @@ def test_cli_rule_selection_and_listing(tmp_path, capsys):
     assert lint_main([str(bad), "--rules", "REP003"]) == 0
     assert lint_main(["--list-rules"]) == 0
     out = capsys.readouterr().out
-    for rid in ("REP001", "REP002", "REP003", "REP004", "REP005"):
+    for rid in (
+        "REP001", "REP002", "REP003", "REP004", "REP005",
+        "REP006", "REP007", "REP008", "REP009", "REP010",
+    ):
         assert rid in out
-    with pytest.raises(SystemExit):
-        lint_main([str(bad), "--rules", "REP999"])
+    # unknown / empty rule specs are usage errors (exit 2), and the
+    # message names every valid id so the caller can self-correct
+    assert lint_main([str(bad), "--rules", "REP999"]) == 2
+    err = capsys.readouterr().err
+    assert "REP999" in err
+    assert "REP001" in err and "REP010" in err
+    assert lint_main([str(bad), "--rules", ",,,"]) == 2
 
 
 def test_real_tree_is_clean():

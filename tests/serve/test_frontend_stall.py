@@ -1,0 +1,93 @@
+"""Live event-loop stall detection through a real FrontendThread.
+
+``REPRO_LOOP_CHECK`` turns the serving loop's watchdog on; a seeded
+100 ms synchronous callback must be caught (and, in strict mode, fail
+the thread's shutdown), while a normal query workload stays silent.
+"""
+
+import time
+
+import pytest
+
+from repro.errors import LoopStallError
+from repro.obs.metrics import MetricsRegistry, use_registry
+from repro.serve import ServeClient
+from repro.serve.frontend import (
+    LOOP_STALL_METRIC,
+    FrontendConfig,
+    FrontendThread,
+)
+
+
+def seed_stall(server, watchdog, seconds=0.1, timeout=10.0):
+    """Run one blocking callback on the live loop, wait for the record."""
+    server._loop.call_soon_threadsafe(lambda: time.sleep(seconds))
+    deadline = time.monotonic() + timeout
+    while not watchdog.stalls and time.monotonic() < deadline:
+        time.sleep(0.01)
+    return watchdog.stalls
+
+
+def test_seeded_blocking_callback_fails_strict_shutdown(
+    served_store, monkeypatch
+):
+    monkeypatch.setenv("REPRO_LOOP_CHECK", "strict")
+    monkeypatch.setenv("REPRO_LOOP_THRESHOLD_MS", "50")
+    _, _, store_path = served_store("paper")
+    server = FrontendThread(
+        FrontendConfig(store_path=store_path, num_shards=1)
+    ).start()
+    watchdog = server.loop_watchdog
+    assert watchdog is not None and watchdog.strict
+    stalls = seed_stall(server, watchdog, seconds=0.1)
+    assert stalls, "100 ms callback was not recorded"
+    assert stalls[0].elapsed_ms >= 50.0
+    with pytest.raises(LoopStallError, match="stalled"):
+        server.stop()
+
+
+def test_record_mode_observes_metric_without_failing(
+    served_store, monkeypatch
+):
+    monkeypatch.setenv("REPRO_LOOP_CHECK", "1")
+    monkeypatch.setenv("REPRO_LOOP_THRESHOLD_MS", "50")
+    _, _, store_path = served_store("paper")
+    registry = MetricsRegistry()
+    with use_registry(registry):
+        with FrontendThread(
+            FrontendConfig(store_path=store_path, num_shards=1)
+        ) as server:
+            watchdog = server.loop_watchdog
+            assert watchdog is not None and not watchdog.strict
+            assert seed_stall(server, watchdog, seconds=0.1)
+        # __exit__ returned: record mode never raises
+    assert registry.as_dict()[LOOP_STALL_METRIC]["count"] >= 1
+
+
+def test_clean_serving_workload_stays_silent(served_store, monkeypatch):
+    """Real queries over the wire never hold the loop past the
+    threshold — the serving path is genuinely non-blocking."""
+    from tests.serve.test_engine_differential import every_pair
+
+    monkeypatch.setenv("REPRO_LOOP_CHECK", "strict")
+    _, index, store_path = served_store("paper")
+    pairs = sorted(set(every_pair(index)))
+    with FrontendThread(
+        FrontendConfig(store_path=store_path, num_shards=2)
+    ) as server:
+        watchdog = server.loop_watchdog
+        assert watchdog is not None
+        with ServeClient(server.host, server.port) as client:
+            responses = client.query_pipeline(pairs)
+        assert all(r.get("ok") for r in responses.values())
+        assert watchdog.stalls == []
+    # __exit__ ran watchdog.check() in strict mode without raising
+
+
+def test_watchdog_absent_when_env_unset(served_store, monkeypatch):
+    monkeypatch.delenv("REPRO_LOOP_CHECK", raising=False)
+    _, _, store_path = served_store("paper")
+    with FrontendThread(
+        FrontendConfig(store_path=store_path, num_shards=1)
+    ) as server:
+        assert server.loop_watchdog is None
